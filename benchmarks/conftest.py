@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Profile selection for all benches:
+
+* default                 -> mini256 (quick: ~2.3 s horizons, minutes total)
+* REPRO_PROFILE=mini      -> mini64 (the calibrated default, ~10 s horizons)
+* REPRO_PROFILE=mini<N>   -> custom scale
+* REPRO_PROFILE=paper     -> unscaled paper constants (hours; documentation)
+"""
+
+import os
+
+import pytest
+
+from repro.bench.profiles import active_profile, mini_profile
+
+
+@pytest.fixture(scope="session")
+def repro_profile():
+    if os.environ.get("REPRO_PROFILE"):
+        return active_profile()
+    return mini_profile(256)
+
+
+def run_experiment(benchmark, module, profile, **kw):
+    """Run one experiment module exactly once under pytest-benchmark."""
+    out = benchmark.pedantic(
+        lambda: module.run(profile=profile, **kw), rounds=1, iterations=1)
+    out["check"].assert_all()
+    return out

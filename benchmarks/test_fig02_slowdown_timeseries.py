@@ -1,0 +1,10 @@
+"""Bench reproducing the paper's Figure 2 (see the experiment module docstring
+for the paper's reference numbers and the shape being asserted)."""
+
+from repro.bench.experiments import exp_fig02_slowdown_timeseries as exp_module
+
+from conftest import run_experiment
+
+
+def test_fig02_slowdown_timeseries(benchmark, repro_profile):
+    run_experiment(benchmark, exp_module, repro_profile)

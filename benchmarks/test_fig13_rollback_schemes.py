@@ -1,0 +1,10 @@
+"""Bench reproducing the paper's Figure 13 (see the experiment module docstring
+for the paper's reference numbers and the shape being asserted)."""
+
+from repro.bench.experiments import exp_fig13_rollback_schemes as exp_module
+
+from conftest import run_experiment
+
+
+def test_fig13_rollback_schemes(benchmark, repro_profile):
+    run_experiment(benchmark, exp_module, repro_profile)

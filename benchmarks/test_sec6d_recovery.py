@@ -1,0 +1,10 @@
+"""Bench reproducing the paper's Section VI-D (see the experiment module docstring
+for the paper's reference numbers and the shape being asserted)."""
+
+from repro.bench.experiments import exp_sec6d_recovery as exp_module
+
+from conftest import run_experiment
+
+
+def test_sec6d_recovery(benchmark, repro_profile):
+    run_experiment(benchmark, exp_module, repro_profile)

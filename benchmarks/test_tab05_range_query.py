@@ -1,0 +1,10 @@
+"""Bench reproducing the paper's Table V (see the experiment module docstring
+for the paper's reference numbers and the shape being asserted)."""
+
+from repro.bench.experiments import exp_tab05_range_query as exp_module
+
+from conftest import run_experiment
+
+
+def test_tab05_range_query(benchmark, repro_profile):
+    run_experiment(benchmark, exp_module, repro_profile)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Write-burst smoothing: the paper's motivating scenario.
+
+A telemetry ingestion service takes sustained bursts of 4 KB events.  On a
+plain RocksDB-style store the bursts slam into write stalls (or the
+slowdown throttle); KVACCEL absorbs them by redirecting into the SSD's
+key-value interface during the stall windows.
+
+This example runs the same burst train against both systems on identical
+simulated hardware and prints per-interval throughput side by side.
+
+Run:  python examples/write_burst_smoothing.py
+"""
+
+from repro.bench.profiles import mini_profile
+from repro.bench.report import series_sparkline, table
+from repro.bench.runner import RunSpec, run_workload
+
+profile = mini_profile(256)  # quick profile: ~2.3 s simulated horizon
+
+specs = [
+    RunSpec("rocksdb", "A", 1, slowdown=True),
+    RunSpec("kvaccel", "A", 1, rollback="lazy"),
+]
+
+results = {}
+for spec in specs:
+    results[spec.display] = run_workload(spec, profile)
+
+print("Per-interval write throughput under a sustained ingest burst\n")
+for label, r in results.items():
+    period = r.extra["sample_period"]
+    kops = [v / period / 1000 for v in r.write_ops_series]
+    print(series_sparkline(kops, label=f"{label:12s} "))
+
+rows = []
+for label, r in results.items():
+    rows.append([
+        label,
+        f"{r.write_throughput_ops/1000:.1f}",
+        f"{r.write_p99_us:.0f}",
+        f"{r.total_stall_time + r.total_delayed_time:.2f}s",
+        r.extra.get("redirected_writes", 0),
+    ])
+print()
+print(table(["system", "avg Kops/s", "P99 (us)", "throttled time",
+             "redirected writes"], rows))
+
+rdb = results["RocksDB(1)"]
+kva = results["KVAccel(1)-L"]
+gain = kva.write_throughput_ops / rdb.write_throughput_ops - 1
+print(f"\nKVACCEL absorbed the burst {gain*100:+.0f}% faster and cut P99 "
+      f"from {rdb.write_p99_us:.0f}us to {kva.write_p99_us:.0f}us by "
+      f"redirecting {kva.extra['redirected_writes']} writes to the "
+      f"device-side buffer instead of throttling.")

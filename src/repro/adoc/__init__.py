@@ -1,0 +1,6 @@
+"""ADOC baseline (FAST '23): dynamic dataflow tuning over the host LSM."""
+
+from .db import AdocDb
+from .tuner import AdocTuner, AdocTunerConfig, TuningAction
+
+__all__ = ["AdocDb", "AdocTuner", "AdocTunerConfig", "TuningAction"]

@@ -1,0 +1,42 @@
+"""ADOC as a DB variant: a DbImpl plus the dataflow tuner."""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from ..device.block_dev import BlockDevice
+from ..device.cpu import CpuModel
+from ..lsm.db import DbImpl
+from ..lsm.options import LsmOptions
+from ..sim import Environment
+from .tuner import AdocTuner, AdocTunerConfig
+
+__all__ = ["AdocDb"]
+
+
+class AdocDb(DbImpl):
+    """DbImpl with ADOC's dynamic thread/buffer tuning attached.
+
+    The wrapped options object is deep-copied: the tuner mutates
+    ``max_background_compactions`` and ``write_buffer_size`` at runtime and
+    must not alias a shared options instance.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        options: LsmOptions,
+        device: BlockDevice,
+        host_cpu: CpuModel,
+        name: str = "adoc",
+        tuner_config: Optional[AdocTunerConfig] = None,
+        **kw,
+    ):
+        super().__init__(env, copy.deepcopy(options), device, host_cpu,
+                         name=name, **kw)
+        self.tuner = AdocTuner(env, self, tuner_config)
+
+    def close(self) -> None:
+        self.tuner.stop()
+        super().close()

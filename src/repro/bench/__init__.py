@@ -1,0 +1,19 @@
+"""Experiment harness: profiles, runner, reporting, per-figure experiments."""
+
+from .profiles import ExperimentProfile, active_profile, mini_profile, paper_profile
+from .report import ShapeCheck, series_sparkline, shape_check, table
+from .runner import RunSpec, build_system, run_workload
+
+__all__ = [
+    "ExperimentProfile",
+    "active_profile",
+    "mini_profile",
+    "paper_profile",
+    "ShapeCheck",
+    "series_sparkline",
+    "shape_check",
+    "table",
+    "RunSpec",
+    "build_system",
+    "run_workload",
+]

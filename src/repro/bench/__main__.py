@@ -1,0 +1,58 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench                 # list experiments
+    python -m repro.bench fig12           # run one (default profile)
+    python -m repro.bench all --quick     # everything, quick profile
+    REPRO_PROFILE=mini python -m repro.bench fig11
+
+Exit status is non-zero if any shape check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run paper-reproduction experiments.")
+    parser.add_argument("experiment", nargs="?",
+                        help=f"one of {', '.join(sorted(ALL))}, or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the fast mini256 profile")
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for name, module in sorted(ALL.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:7s} {doc}")
+        return 0
+
+    names = sorted(ALL) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+
+    failed = []
+    for name in names:
+        print(f"\n=== {name} " + "=" * (68 - len(name)))
+        out = ALL[name].run(quick=args.quick)
+        if not out["check"].passed:
+            failed.append(name)
+    if failed:
+        print(f"\nFAILED shape checks: {failed}", file=sys.stderr)
+        return 1
+    print(f"\nall shape checks passed ({len(names)} experiment(s)).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

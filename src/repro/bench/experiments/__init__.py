@@ -1,0 +1,38 @@
+"""One module per paper table/figure (plus ablations).
+
+Each module exposes ``run(profile=None, quick=False) -> dict`` returning
+the measured rows/series, the paper's reference numbers, and a
+:class:`~repro.bench.report.ShapeCheck` verdict, and prints a
+terminal-friendly report.  The pytest-benchmark files under ``benchmarks/``
+are thin wrappers over these.
+"""
+
+from . import (
+    exp_fig02_slowdown_timeseries,
+    exp_fig03_slowdown_cost,
+    exp_fig04_pcie_timeseries,
+    exp_fig05_pcie_cdf,
+    exp_fig11_kvaccel_timeseries,
+    exp_fig12_throughput_latency_efficiency,
+    exp_fig13_rollback_schemes,
+    exp_fig14_pcie_kvaccel,
+    exp_sec6d_recovery,
+    exp_tab05_range_query,
+    exp_tab06_overheads,
+)
+
+ALL = {
+    "fig02": exp_fig02_slowdown_timeseries,
+    "fig03": exp_fig03_slowdown_cost,
+    "fig04": exp_fig04_pcie_timeseries,
+    "fig05": exp_fig05_pcie_cdf,
+    "fig11": exp_fig11_kvaccel_timeseries,
+    "fig12": exp_fig12_throughput_latency_efficiency,
+    "fig13": exp_fig13_rollback_schemes,
+    "fig14": exp_fig14_pcie_kvaccel,
+    "tab05": exp_tab05_range_query,
+    "tab06": exp_tab06_overheads,
+    "sec6d": exp_sec6d_recovery,
+}
+
+__all__ = ["ALL"]

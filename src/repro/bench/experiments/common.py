@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..profiles import ExperimentProfile, active_profile, mini_profile
+from ..runner import RunSpec, run_workload
+
+__all__ = ["resolve_profile", "run_cells"]
+
+
+def resolve_profile(profile: Optional[ExperimentProfile],
+                    quick: bool) -> ExperimentProfile:
+    """Default profile selection: explicit > REPRO_PROFILE > mini64.
+
+    ``quick=True`` swaps in the 4x-faster mini256 profile (used by CI-style
+    runs and the test suite; shapes hold, statistics are noisier).
+    """
+    if profile is not None:
+        return profile
+    if quick:
+        return mini_profile(256)
+    return active_profile()
+
+
+def run_cells(specs: list, profile: ExperimentProfile) -> dict:
+    """Run every spec and key results by display label."""
+    results = {}
+    for spec in specs:
+        results[spec.display] = run_workload(spec, profile)
+    return results

@@ -1,0 +1,68 @@
+"""Figure 4 — PCIe bandwidth during write stalls (RocksDB w/o slowdown).
+
+Paper: time-series PCIe traffic for RocksDB(1) and RocksDB(4) shows
+significant unused bandwidth inside stall windows — intervals of zero
+traffic while merges run from memory, interleaved with near-peak bursts.
+"""
+
+from __future__ import annotations
+
+from ...metrics import analyze_stall_pcie
+from ..report import series_sparkline, shape_check
+from ..runner import RunSpec
+from .common import resolve_profile, run_cells
+
+PAPER = {
+    "note": "zero-traffic windows appear inside stall regions for both "
+            "1 and 4 compaction threads; bursts reach the 630 MB/s device peak",
+}
+
+
+def run(profile=None, quick: bool = False) -> dict:
+    profile = resolve_profile(profile, quick)
+    specs = [
+        RunSpec("rocksdb", "A", 1, slowdown=False),
+        RunSpec("rocksdb", "A", 4, slowdown=False),
+    ]
+    results = run_cells(specs, profile)
+
+    check = shape_check("Fig 4: PCIe under-utilized during stalls")
+    stats = {}
+    for label, r in results.items():
+        s = analyze_stall_pcie(
+            r.pcie_times, r.pcie_series, r.stall_intervals,
+            capacity=r.extra["device_peak_bw"] * r.extra["sample_period"],
+            bucket=r.extra["sample_period"])
+        stats[label] = s
+        check.expect(f"{label}: stall windows exist",
+                     s.stall_buckets > 0, f"{s.stall_buckets} buckets")
+    one = stats["RocksDB(1) w/o slowdown"]
+    four = stats["RocksDB(4) w/o slowdown"]
+    check.expect("RocksDB(1): zero-traffic windows inside stalls (paper 30%)",
+                 one.zero_buckets > 0,
+                 f"{one.zero_fraction*100:.0f}%")
+    # Model deviation vs paper: with 4 threads our overlapped compactions
+    # keep the link busy (paper still saw 21% idle).  The robust direction
+    # is that more threads shrink the idle share.
+    check.expect("RocksDB(4): idle share <= RocksDB(1)'s (paper 21% vs 30%)",
+                 four.zero_fraction <= one.zero_fraction,
+                 f"{four.zero_fraction*100:.0f}% vs {one.zero_fraction*100:.0f}%")
+
+    lines = ["Figure 4 — PCIe traffic (MB/s equivalents, sparkline = full run)"]
+    for label, r in results.items():
+        period = r.extra["sample_period"]
+        mbps = [v / period / (1 << 20) for v in r.pcie_series]
+        lines.append(series_sparkline(mbps, label=f"  {label:26s} "))
+        s = stats[label]
+        lines.append(
+            f"    stall-buckets={s.stall_buckets}, zero={s.zero_buckets} "
+            f"({s.zero_fraction*100:.0f}%), >90%-peak={s.above_90_buckets} "
+            f"({s.above_90_fraction*100:.0f}%)")
+    lines.append(f"paper: {PAPER['note']}")
+    lines.append(check.render())
+    print("\n".join(lines))
+    return {"results": results, "stats": stats, "paper": PAPER, "check": check}
+
+
+if __name__ == "__main__":
+    run()["check"].assert_all()

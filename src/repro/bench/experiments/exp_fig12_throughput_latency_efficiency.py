@@ -1,0 +1,114 @@
+"""Figure 12 — throughput, P99 latency, and efficiency on workload A.
+
+Paper results (1 compaction thread unless noted):
+
+* KVACCEL(1) throughput +37 % vs RocksDB(1), +17 % vs ADOC(1);
+* KVACCEL(1) P99 −30 % vs RocksDB(1), −20 % vs ADOC(1);
+* KVACCEL(1) ~ ADOC(4) in write throughput;
+* KVACCEL(1) has the best efficiency (Eq. 1) of all nine configurations;
+* KVACCEL's edge shrinks as compaction threads increase.
+
+KVACCEL runs write-optimized for this workload: Dev-LSM compaction and
+rollback disabled (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from ..report import fmt, kops, shape_check, table
+from ..runner import RunSpec
+from .common import resolve_profile, run_cells
+
+PAPER = {
+    "kvaccel_vs_rocksdb_thr": +0.37,
+    "kvaccel_vs_adoc_thr": +0.17,
+    "kvaccel_vs_rocksdb_p99": -0.30,
+    "kvaccel_vs_adoc_p99": -0.20,
+    "note": "KVACCEL(1) ~= ADOC(4); KVACCEL(1) best efficiency",
+}
+
+THREADS = (1, 2, 4)
+
+
+def run(profile=None, quick: bool = False) -> dict:
+    profile = resolve_profile(profile, quick)
+    specs = []
+    for n in THREADS:
+        specs.append(RunSpec("rocksdb", "A", n, slowdown=True))
+        specs.append(RunSpec("adoc", "A", n, slowdown=True))
+        specs.append(RunSpec("kvaccel", "A", n, rollback="disabled"))
+    results = run_cells(specs, profile)
+
+    def r(system, n):
+        name = {"rocksdb": "RocksDB", "adoc": "ADOC", "kvaccel": "KVAccel"}
+        return results[f"{name[system]}({n})"]
+
+    rows = []
+    for n in THREADS:
+        for system in ("rocksdb", "adoc", "kvaccel"):
+            res = r(system, n)
+            rows.append([
+                res.name, kops(res.write_throughput_ops),
+                f"{res.write_p99_us:.0f}",
+                f"{res.cpu_utilization*100:.1f}%",
+                fmt(res.efficiency),
+            ])
+
+    kva1, rdb1, adoc1 = r("kvaccel", 1), r("rocksdb", 1), r("adoc", 1)
+    measured = {
+        "kvaccel_vs_rocksdb_thr":
+            kva1.write_throughput_ops / rdb1.write_throughput_ops - 1,
+        "kvaccel_vs_adoc_thr":
+            kva1.write_throughput_ops / adoc1.write_throughput_ops - 1,
+        "kvaccel_vs_rocksdb_p99":
+            kva1.write_p99_us / rdb1.write_p99_us - 1 if rdb1.write_p99_us else 0,
+        "kvaccel_vs_adoc_p99":
+            kva1.write_p99_us / adoc1.write_p99_us - 1 if adoc1.write_p99_us else 0,
+    }
+
+    check = shape_check("Fig 12: KVACCEL wins throughput/P99/efficiency at 1 thread")
+    check.expect_order("throughput: KVACCEL(1) > RocksDB(1)",
+                       kva1.write_throughput_ops, rdb1.write_throughput_ops,
+                       slack=1.05)
+    check.expect_order("throughput: KVACCEL(1) > ADOC(1)",
+                       kva1.write_throughput_ops, adoc1.write_throughput_ops,
+                       slack=1.0)
+    check.expect("P99: KVACCEL(1) < RocksDB(1)",
+                 kva1.write_p99_us < rdb1.write_p99_us,
+                 f"{kva1.write_p99_us:.0f} vs {rdb1.write_p99_us:.0f}")
+    check.expect("P99: KVACCEL(1) < ADOC(1)",
+                 kva1.write_p99_us < adoc1.write_p99_us,
+                 f"{kva1.write_p99_us:.0f} vs {adoc1.write_p99_us:.0f}")
+    check.expect("efficiency: KVACCEL(1) best of all nine configs",
+                 all(kva1.efficiency >= res.efficiency * 0.99
+                     for res in results.values()),
+                 fmt(kva1.efficiency))
+    adoc4 = r("adoc", 4)
+    check.expect(
+        "KVACCEL(1) comparable to (or above) ADOC(4)",
+        kva1.write_throughput_ops >= adoc4.write_throughput_ops * 0.8,
+        f"{kops(kva1.write_throughput_ops)} vs {kops(adoc4.write_throughput_ops)}")
+    kva4 = r("kvaccel", 4)
+    check.expect(
+        "more threads diminish KVACCEL's relative edge",
+        (kva4.write_throughput_ops / max(1.0, r('rocksdb', 4).write_throughput_ops))
+        <= (kva1.write_throughput_ops / max(1.0, rdb1.write_throughput_ops)) * 1.1,
+        "edge(4) <= edge(1)")
+
+    print(table(["config", "thr (Kops/s)", "P99 (us)", "CPU", "efficiency"],
+                rows, title="Figure 12 — workload A, all configurations"))
+    print(f"measured deltas at 1 thread: "
+          f"thr vs RocksDB {measured['kvaccel_vs_rocksdb_thr']*100:+.0f}% "
+          f"(paper {PAPER['kvaccel_vs_rocksdb_thr']*100:+.0f}%), "
+          f"vs ADOC {measured['kvaccel_vs_adoc_thr']*100:+.0f}% "
+          f"(paper {PAPER['kvaccel_vs_adoc_thr']*100:+.0f}%); "
+          f"P99 vs RocksDB {measured['kvaccel_vs_rocksdb_p99']*100:+.0f}% "
+          f"(paper {PAPER['kvaccel_vs_rocksdb_p99']*100:+.0f}%), "
+          f"vs ADOC {measured['kvaccel_vs_adoc_p99']*100:+.0f}% "
+          f"(paper {PAPER['kvaccel_vs_adoc_p99']*100:+.0f}%)")
+    print(check.render())
+    return {"results": results, "measured": measured, "paper": PAPER,
+            "check": check}
+
+
+if __name__ == "__main__":
+    run()["check"].assert_all()

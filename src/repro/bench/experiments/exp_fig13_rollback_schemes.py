@@ -1,0 +1,88 @@
+"""Figure 13 — rollback schemes across workloads A/B/C (4 threads).
+
+Paper results:
+
+* Workload A (write-only): lazy rollback beats eager (rollback I/O steals
+  bandwidth from foreground writes);
+* Workloads B/C (9:1 and 8:2 write:read): both schemes hold a 36 % / 51 %
+  write-throughput lead over ADOC;
+* Eager rollback reads faster than lazy (more of the data lives in
+  Main-LSM where point reads are cheap).
+"""
+
+from __future__ import annotations
+
+from ..report import kops, shape_check, table
+from ..runner import RunSpec
+from .common import resolve_profile, run_cells
+
+PAPER = {
+    "write_lead_over_adoc": {"B": 0.36, "C": 0.51},
+    "note": "lazy >= eager on A; eager reads faster on B/C",
+}
+
+N_THREADS = 4
+
+
+def run(profile=None, quick: bool = False) -> dict:
+    profile = resolve_profile(profile, quick)
+    specs = []
+    for wl in ("A", "B", "C"):
+        specs.append(RunSpec("rocksdb", wl, N_THREADS, slowdown=True,
+                             label=f"RocksDB/{wl}"))
+        specs.append(RunSpec("adoc", wl, N_THREADS, slowdown=True,
+                             label=f"ADOC/{wl}"))
+        specs.append(RunSpec("kvaccel", wl, N_THREADS, rollback="lazy",
+                             label=f"KVAccel-L/{wl}"))
+        specs.append(RunSpec("kvaccel", wl, N_THREADS, rollback="eager",
+                             label=f"KVAccel-E/{wl}"))
+    results = run_cells(specs, profile)
+
+    rows = []
+    for wl in ("A", "B", "C"):
+        for sysname in ("RocksDB", "ADOC", "KVAccel-L", "KVAccel-E"):
+            r = results[f"{sysname}/{wl}"]
+            rows.append([
+                wl, sysname,
+                kops(r.write_throughput_ops),
+                kops(r.read_throughput_ops) if wl != "A" else "-",
+                r.extra.get("rollbacks", "-"),
+            ])
+
+    check = shape_check("Fig 13: rollback scheme vs workload type")
+    a_lazy = results["KVAccel-L/A"]
+    a_eager = results["KVAccel-E/A"]
+    check.expect_order("A: lazy rollback >= eager for write-only",
+                       a_lazy.write_throughput_ops,
+                       a_eager.write_throughput_ops, slack=0.9)
+    measured_leads = {}
+    for wl in ("B", "C"):
+        adoc = results[f"ADOC/{wl}"]
+        lazy = results[f"KVAccel-L/{wl}"]
+        eager = results[f"KVAccel-E/{wl}"]
+        lead = min(lazy.write_throughput_ops, eager.write_throughput_ops) \
+            / max(1.0, adoc.write_throughput_ops) - 1
+        measured_leads[wl] = lead
+        check.expect(
+            f"{wl}: both KVACCEL schemes lead ADOC on writes "
+            f"(paper +{PAPER['write_lead_over_adoc'][wl]*100:.0f}%)",
+            lead > 0, f"{lead*100:+.0f}%")
+        check.expect_order(
+            f"{wl}: eager rollback reads at least as fast as lazy",
+            eager.read_throughput_ops, lazy.read_throughput_ops, slack=0.85)
+    check.expect("eager rollback actually rolled back on B",
+                 results["KVAccel-E/B"].extra.get("rollbacks", 0) > 0)
+
+    print(table(["workload", "system", "write Kops/s", "read Kops/s",
+                 "rollbacks"],
+                rows, title="Figure 13 — rollback schemes (4 threads)"))
+    print(f"measured write leads over ADOC: "
+          f"B {measured_leads['B']*100:+.0f}% (paper +36%), "
+          f"C {measured_leads['C']*100:+.0f}% (paper +51%)")
+    print(check.render())
+    return {"results": results, "paper": PAPER, "leads": measured_leads,
+            "check": check}
+
+
+if __name__ == "__main__":
+    run()["check"].assert_all()

@@ -1,0 +1,71 @@
+"""Figure 14 — PCIe usage, KVACCEL(1) vs RocksDB(1), log scale.
+
+Paper: KVACCEL achieved a 45 % reduction in zero-traffic intervals during
+write-stall periods compared to RocksDB — the dual interface keeps the
+link busy through the windows where RocksDB leaves it idle.
+"""
+
+from __future__ import annotations
+
+from ...metrics import zero_traffic_buckets
+from ..report import series_sparkline, shape_check
+from ..runner import RunSpec
+from .common import resolve_profile, run_cells
+
+PAPER = {"zero_interval_reduction": 0.45}
+
+
+def _zero_fraction_overall(result) -> float:
+    """Fraction of all buckets (post-warmup) with near-zero PCIe traffic."""
+    vals = result.pcie_series
+    warm = len(vals) // 10
+    tail = vals[warm:]
+    if not tail:
+        return 0.0
+    return sum(1 for v in tail if v <= 1024.0) / len(tail)
+
+
+def run(profile=None, quick: bool = False) -> dict:
+    profile = resolve_profile(profile, quick)
+    specs = [
+        RunSpec("rocksdb", "A", 1, slowdown=False),
+        RunSpec("kvaccel", "A", 1, rollback="disabled"),
+    ]
+    results = run_cells(specs, profile)
+    rdb = results["RocksDB(1) w/o slowdown"]
+    kva = results["KVAccel(1)"]
+
+    # During-stall zero buckets for RocksDB; KVACCEL rarely hard-stalls, so
+    # compare overall link-idle fractions as well.
+    rdb_zero_stall = zero_traffic_buckets(
+        rdb.pcie_times, rdb.pcie_series, rdb.stall_intervals,
+        bucket=rdb.extra["sample_period"])
+    zero_frac = {"RocksDB(1)": _zero_fraction_overall(rdb),
+                 "KVAccel(1)": _zero_fraction_overall(kva)}
+    reduction = (1 - zero_frac["KVAccel(1)"] / zero_frac["RocksDB(1)"]
+                 if zero_frac["RocksDB(1)"] > 0 else 0.0)
+
+    check = shape_check("Fig 14: KVACCEL keeps the PCIe link busier")
+    check.expect("RocksDB leaves zero-traffic intervals during stalls",
+                 rdb_zero_stall > 0, str(rdb_zero_stall))
+    check.expect(
+        f"KVACCEL reduces zero-traffic intervals (paper -45%)",
+        reduction > 0.10, f"{reduction*100:+.0f}%")
+
+    lines = ["Figure 14 — PCIe traffic (MB/s, sparkline = full run)"]
+    for label, r in [("RocksDB(1)", rdb), ("KVAccel(1)", kva)]:
+        period = r.extra["sample_period"]
+        mbps = [v / period / (1 << 20) for v in r.pcie_series]
+        lines.append(series_sparkline(mbps, label=f"  {label:12s} "))
+        lines.append(f"    zero-traffic buckets: {zero_frac[label]*100:.0f}% "
+                     f"of run")
+    lines.append(f"measured zero-interval reduction: {reduction*100:+.0f}% "
+                 f"(paper -45%)")
+    lines.append(check.render())
+    print("\n".join(lines))
+    return {"results": results, "zero_frac": zero_frac,
+            "reduction": reduction, "paper": PAPER, "check": check}
+
+
+if __name__ == "__main__":
+    run()["check"].assert_all()

@@ -1,0 +1,64 @@
+"""Table V — range-query throughput on workload D (seekrandom).
+
+Paper (Seek + 1024 Next after a 20 GB fillrandom):
+
+    RocksDB  302 Kops/s
+    ADOC     351 Kops/s
+    KVACCEL  100 Kops/s
+
+KVACCEL supports range queries across both interfaces but is bound by the
+Dev-LSM iterator: every device-side Next is an NVMe command plus an
+uncached NAND page read (no read cache on the device — Section VI-C).
+"""
+
+from __future__ import annotations
+
+from ..report import kops, shape_check, table
+from ..runner import RunSpec
+from .common import resolve_profile, run_cells
+
+PAPER = {"RocksDB": 302_000, "ADOC": 351_000, "KVAccel": 100_000}
+
+
+def run(profile=None, quick: bool = False) -> dict:
+    profile = resolve_profile(profile, quick)
+    specs = [
+        RunSpec("rocksdb", "D", 4, slowdown=True),
+        RunSpec("adoc", "D", 4, slowdown=True),
+        RunSpec("kvaccel", "D", 4, rollback="disabled"),
+    ]
+    results = run_cells(specs, profile)
+
+    rows = []
+    thr = {}
+    for label, paper_key in [("RocksDB(4)", "RocksDB"), ("ADOC(4)", "ADOC"),
+                             ("KVAccel(4)", "KVAccel")]:
+        r = results[label]
+        thr[paper_key] = r.read_throughput_ops
+        rows.append([paper_key, kops(r.read_throughput_ops),
+                     f"{PAPER[paper_key]/1000:.0f}",
+                     r.extra.get("seeks", "-"),
+                     r.extra.get("entries_scanned", "-")])
+
+    check = shape_check("Table V: KVACCEL's range queries trail the host LSMs")
+    check.expect("all systems complete range queries",
+                 all(v > 0 for v in thr.values()),
+                 str({k: f"{v/1000:.0f}K" for k, v in thr.items()}))
+    check.expect_order("RocksDB >> KVACCEL (paper 3.0x)",
+                       thr["RocksDB"], thr["KVAccel"], slack=1.5)
+    check.expect_order("ADOC >> KVACCEL (paper 3.5x)",
+                       thr["ADOC"], thr["KVAccel"], slack=1.5)
+    ratio = thr["RocksDB"] / max(1.0, thr["KVAccel"])
+    check.expect("RocksDB/KVACCEL factor in the paper's ballpark (1.5x-12x)",
+                 1.5 <= ratio <= 12.0, f"{ratio:.1f}x (paper 3.0x)")
+
+    print(table(["system", "measured Kops/s", "paper Kops/s", "seeks",
+                 "entries"],
+                rows, title="Table V — range-query throughput (workload D)"))
+    print(check.render())
+    return {"results": results, "throughput": thr, "paper": PAPER,
+            "check": check}
+
+
+if __name__ == "__main__":
+    run()["check"].assert_all()

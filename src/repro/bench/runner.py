@@ -1,0 +1,174 @@
+"""Experiment runner: build a system, drive a workload, collect a RunResult.
+
+``run_workload`` is the single entry point every table/figure bench uses:
+
+    result = run_workload(RunSpec(system="kvaccel", workload="A",
+                                  compaction_threads=1), profile)
+
+Systems: ``rocksdb`` (DbImpl), ``adoc`` (AdocDb), ``kvaccel`` (KvaccelDb).
+Workloads: Table IV's A-D via the db_bench drivers.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..adoc import AdocDb, AdocTunerConfig
+from ..core import KvaccelDb, RollbackConfig
+from ..device import CpuModel, HybridSsd
+from ..lsm import DbImpl
+from ..metrics import RunCollector, RunResult
+from ..sim import Environment
+from ..workload import (
+    DriverConfig,
+    FillRandomDriver,
+    ReadWhileWritingDriver,
+    SeekRandomDriver,
+    WORKLOADS,
+    fill_database,
+)
+from .profiles import ExperimentProfile
+
+__all__ = ["RunSpec", "run_workload", "build_system"]
+
+SYSTEMS = ("rocksdb", "adoc", "kvaccel")
+
+
+@dataclass
+class RunSpec:
+    """One experiment cell: a system configuration on a workload."""
+
+    system: str
+    workload: str = "A"
+    compaction_threads: int = 1
+    slowdown: bool = True            # rocksdb / adoc variants (Figs 2-3)
+    rollback: str = "disabled"       # kvaccel scheme (Figs 12-13)
+    seed: int = 1
+    duration: Optional[float] = None  # override the profile horizon
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"system must be one of {SYSTEMS}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"workload must be one of {sorted(WORKLOADS)}")
+
+    @property
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        base = {"rocksdb": "RocksDB", "adoc": "ADOC", "kvaccel": "KVAccel"}
+        name = f"{base[self.system]}({self.compaction_threads})"
+        if self.system in ("rocksdb", "adoc") and not self.slowdown:
+            name += " w/o slowdown"
+        if self.system == "kvaccel" and self.rollback != "disabled":
+            name += {"lazy": "-L", "eager": "-E"}[self.rollback]
+        return name
+
+
+def build_system(env: Environment, profile: ExperimentProfile, spec: RunSpec):
+    """Instantiate (db, ssd, cpu) for a spec."""
+    cpu = CpuModel(env, cores=profile.host_cores, name="host")
+    ssd = HybridSsd(env, cpu, copy.deepcopy(profile.ssd))
+    opts = copy.deepcopy(profile.options)
+    opts.max_background_compactions = spec.compaction_threads
+    opts.slowdown_enabled = spec.slowdown
+
+    cache = profile.page_cache_bytes
+    if spec.system == "rocksdb":
+        db = DbImpl(env, opts, ssd.block, cpu, name="rocksdb",
+                    page_cache_bytes=cache)
+    elif spec.system == "adoc":
+        # ADOC(n) starts from n compaction threads and may double them under
+        # pressure — its dynamic range scales with the configured baseline,
+        # which is what separates ADOC(1) from ADOC(4) in Fig 12.
+        db = AdocDb(env, opts, ssd.block, cpu, name="adoc",
+                    page_cache_bytes=cache,
+                    tuner_config=AdocTunerConfig(
+                        interval=profile.adoc_interval,
+                        max_compaction_threads=spec.compaction_threads * 2))
+    else:
+        rb = RollbackConfig(scheme=spec.rollback,
+                            period=profile.rollback_period,
+                            quiet_window=profile.rollback_quiet_window)
+        db = KvaccelDb(env, opts, ssd, cpu, name="kvaccel",
+                       rollback=rb,
+                       detector_config=copy.deepcopy(profile.detector),
+                       page_cache_bytes=cache)
+    return db, ssd, cpu
+
+
+def _main_db(db):
+    return db.main if isinstance(db, KvaccelDb) else db
+
+
+def run_workload(spec: RunSpec, profile: ExperimentProfile) -> RunResult:
+    """Run one experiment cell and return its RunResult."""
+    env = Environment()
+    db, ssd, cpu = build_system(env, profile, spec)
+    wl = WORKLOADS[spec.workload]
+    duration = spec.duration if spec.duration is not None else profile.duration
+
+    cfg = DriverConfig(
+        duration=duration,
+        key_space=profile.key_space,
+        key_size=profile.key_size,
+        value_size=profile.value_size,
+        batch_size=profile.batch_size,
+        seed=spec.seed,
+    )
+
+    # Workload D preloads the store before measuring.
+    if wl.kind == "seekrandom" and profile.seekrandom_fill_bytes > 0:
+        p = fill_database(env, db, profile.seekrandom_fill_bytes, cfg)
+        env.run(until=p)
+        main = _main_db(db)
+        env.run(until=env.process(main.wait_for_quiesce()))
+
+    collector = RunCollector(env, spec.display,
+                             sample_period=profile.sample_period)
+    collector.attach_db_stats(db.stats)
+
+    if wl.kind == "fillrandom":
+        driver = FillRandomDriver(env, db, cfg)
+    elif wl.kind == "readwhilewriting":
+        driver = ReadWhileWritingDriver(env, db, cfg,
+                                        write_ratio=wl.write_ratio,
+                                        read_ratio=wl.read_ratio)
+    else:
+        driver = SeekRandomDriver(env, db, cfg,
+                                  nexts_per_seek=profile.seekrandom_nexts)
+    # Meters shared with the collector so per-bucket series line up.
+    driver.write_meter = collector.write_meter
+    driver.read_meter = collector.read_meter
+
+    proc = driver.start()
+    env.run(until=proc)
+    env.run(until=env.now + profile.sample_period)  # flush last bucket
+    collector.stop()
+
+    main = _main_db(db)
+    result = collector.result(
+        write_ops=driver.write_ops,
+        read_ops=driver.read_ops,
+        write_bytes=driver.write_bytes,
+        write_controller=main.write_controller,
+        host_cpu=cpu,
+        pcie_ledger=ssd.pcie.ledger,
+    )
+    result.extra["snapshot"] = (db.snapshot() if isinstance(db, KvaccelDb)
+                                else main.property_snapshot())
+    result.extra["spec"] = spec
+    result.extra["profile"] = profile.name
+    result.extra["sample_period"] = profile.sample_period
+    result.extra["device_peak_bw"] = profile.device_peak_bw
+    if isinstance(db, KvaccelDb):
+        result.extra["redirected_writes"] = db.controller.redirected_writes
+        result.extra["rollbacks"] = db.rollback_manager.rollback_count
+    if isinstance(driver, SeekRandomDriver):
+        result.extra["seeks"] = driver.seeks
+        result.extra["entries_scanned"] = driver.entries_scanned
+    db.close()
+    return result

@@ -1,0 +1,25 @@
+"""KVACCEL core: detector, controller, metadata, rollback, range query."""
+
+from .controller import KvaccelController
+from .detector import DetectorConfig, WriteStallDetector
+from .kvaccel import KvaccelDb
+from .metadata import MetadataCosts, MetadataManager
+from .range_query import DualIterator, range_query
+from .recovery import RecoveryReport, recover_after_crash
+from .rollback import RollbackConfig, RollbackManager, RollbackRecord
+
+__all__ = [
+    "KvaccelController",
+    "DetectorConfig",
+    "WriteStallDetector",
+    "KvaccelDb",
+    "MetadataCosts",
+    "MetadataManager",
+    "DualIterator",
+    "range_query",
+    "RecoveryReport",
+    "recover_after_crash",
+    "RollbackConfig",
+    "RollbackManager",
+    "RollbackRecord",
+]

@@ -1,0 +1,138 @@
+"""Rollback Manager (paper Section V-E).
+
+Aggregates the two LSMs back into one: when the Detector reports no write
+stall and the Dev-LSM holds cached pairs, the manager pulls everything back
+with the iterator-based *bulky range scan* (512 KB DMA chunks), merges the
+entries into Main-LSM preserving their original sequence numbers, clears
+the metadata table, and resets the Dev-LSM (step 8) so the next stall
+starts from a clean buffer.
+
+Two scheduling schemes (paper):
+
+* ``eager``  — roll back as soon as the stall clears; best for read-mixed
+  workloads (Dev-LSM point reads are slow).
+* ``lazy``   — wait for a quiet period (no writes for ``quiet_window``) so
+  rollback I/O never competes with foreground writes; best for
+  write-intensive workloads.
+* ``disabled`` — never roll back during the run (the paper's write-only
+  workload A configuration, where rollback happens after the workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..sim import Environment
+from ..types import entry_size
+from .controller import KvaccelController
+from .detector import WriteStallDetector
+
+__all__ = ["RollbackManager", "RollbackConfig", "RollbackRecord"]
+
+SCHEMES = ("eager", "lazy", "disabled")
+
+
+@dataclass
+class RollbackConfig:
+    scheme: str = "eager"
+    period: float = 0.1            # check cadence (same thread family as detector)
+    quiet_window: float = 0.5      # lazy: require this long with no writes
+    merge_batch: int = 256         # entries per Main-LSM write batch
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}")
+        if self.period <= 0 or self.quiet_window < 0 or self.merge_batch < 1:
+            raise ValueError("invalid rollback configuration")
+
+
+@dataclass
+class RollbackRecord:
+    start: float
+    end: float
+    entries: int
+    bytes: int
+
+
+class RollbackManager:
+    """Schedules and executes rollback operations."""
+
+    def __init__(self, env: Environment, controller: KvaccelController,
+                 detector: WriteStallDetector,
+                 config: RollbackConfig | None = None):
+        self.env = env
+        self.controller = controller
+        self.detector = detector
+        self.config = config or RollbackConfig()
+        self.records: list[RollbackRecord] = []
+        self.in_progress = False
+        self._stopped = False
+        self.process = env.process(self._run(), name="kvaccel-rollback")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- scheduling policy ------------------------------------------------
+    def _should_rollback(self) -> bool:
+        if self.in_progress or self.controller.kv.is_empty:
+            return False
+        if self.detector.stall_condition:
+            return False  # only between stalls (paper step 1-2)
+        if self.config.scheme == "eager":
+            return True
+        if self.config.scheme == "lazy":
+            quiet = self.env.now - self.controller.last_write_time
+            return quiet >= self.config.quiet_window
+        return False  # disabled
+
+    def _run(self):
+        while not self._stopped:
+            yield self.env.timeout(self.config.period)
+            if self._stopped:
+                return
+            if self._should_rollback():
+                yield from self.rollback_once()
+
+    # -- the rollback operation ---------------------------------------------
+    def rollback_once(self) -> Generator:
+        """One full rollback: bulk scan -> merge -> clear metadata -> reset.
+
+        While a rollback runs, the controller stops redirecting (writes go
+        to Main-LSM, gated normally), so the Dev-LSM reset at step 8 cannot
+        drop late-arriving entries.  Entries whose key is no longer in the
+        metadata table are *stale* — a newer copy already landed in
+        Main-LSM via write-path step 3-1 — and are skipped, otherwise an
+        old value could shadow a newer, already-flushed one.
+        """
+        self.in_progress = True
+        self.controller.rollback_in_progress = True
+        try:
+            t0 = self.env.now
+            controller = self.controller
+            live_keys = controller.metadata.keys_snapshot()
+            entries = yield from controller.kv.bulk_scan()
+            entries = [e for e in entries if e[0] in live_keys]
+            nbytes = 0
+            batch = self.config.merge_batch
+            for i in range(0, len(entries), batch):
+                chunk = entries[i:i + batch]
+                nbytes += sum(entry_size(e) for e in chunk)
+                yield from controller.main.write_entries(chunk)
+            controller.metadata.clear()
+            yield from controller.kv.reset()
+            self.records.append(RollbackRecord(
+                start=t0, end=self.env.now, entries=len(entries), bytes=nbytes))
+        finally:
+            self.in_progress = False
+            self.controller.rollback_in_progress = False
+
+    # -- stats --------------------------------------------------------------
+    @property
+    def rollback_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_entries_rolled_back(self) -> int:
+        return sum(r.entries for r in self.records)
+

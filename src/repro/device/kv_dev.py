@@ -1,0 +1,154 @@
+"""NVMe-KV command interface of the hybrid SSD.
+
+The host talks to the Dev-LSM through these verbs (Section IV): PUT, GET,
+DELETE, EXIST, iterator SEEK/NEXT, and the bulk range scan used by rollback.
+Each command charges the PCIe link for the command capsule plus payload and
+then executes inside the device (ARM core + NAND via :class:`DevLsm`).
+
+This is the "stall path" of Figure 7(a): commands bypass the host file
+system and block layer entirely — their only host-side cost is the NVMe
+submission, modelled as ``host_submit_cost`` seconds of host CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..sim import Environment
+from ..types import KIND_DELETE, KIND_PUT, Entry, entry_size, make_entry, value_size
+from .cpu import CpuModel
+from .devlsm import DevIterator, DevLsm
+from .pcie import PcieLink
+
+__all__ = ["KvDevice", "KvDeviceConfig"]
+
+# NVMe command capsule + completion overhead on the wire, bytes.
+_CAPSULE_BYTES = 64 + 16
+
+
+@dataclass
+class KvDeviceConfig:
+    host_submit_cost: float = 1.5e-6   # host CPU per NVMe-KV command (s)
+
+
+class KvDevice:
+    """Host-facing NVMe-KV endpoint wired to the in-device LSM."""
+
+    def __init__(
+        self,
+        env: Environment,
+        devlsm: DevLsm,
+        pcie: PcieLink,
+        host_cpu: CpuModel,
+        config: Optional[KvDeviceConfig] = None,
+    ):
+        self.env = env
+        self.devlsm = devlsm
+        self.pcie = pcie
+        self.host_cpu = host_cpu
+        self.config = config or KvDeviceConfig()
+        self.command_counts: dict[str, int] = {}
+
+    def _count(self, verb: str) -> None:
+        self.command_counts[verb] = self.command_counts.get(verb, 0) + 1
+        self.host_cpu.charge(self.config.host_submit_cost, tag="nvme_kv")
+
+    # -- point commands -----------------------------------------------------
+    def put(self, key: bytes, seq: int, value) -> Generator:
+        """KV PUT: ship key+value over PCIe, insert into Dev-LSM."""
+        self._count("put")
+        payload = _CAPSULE_BYTES + len(key) + value_size(value)
+        yield from self.pcie.transfer(payload)
+        entry = make_entry(key, seq, value, kind=KIND_PUT)
+        yield from self.devlsm.put(entry)
+
+    def put_batch(self, triples: list) -> Generator:
+        """Batched KV PUT via a compound command (HotStorage '19 style).
+
+        ``triples`` is a list of (key, seq, value).  One capsule + one
+        payload transfer covers the batch; the Dev-LSM still ingests each
+        record (per-op ARM cost, flush when the device memtable fills).
+        """
+        self._count("put_batch")
+        payload = _CAPSULE_BYTES + sum(
+            len(k) + value_size(v) for k, _s, v in triples)
+        yield from self.pcie.transfer(payload)
+        for key, seq, value in triples:
+            entry = make_entry(key, seq, value, kind=KIND_PUT)
+            yield from self.devlsm.put(entry)
+
+    def delete(self, key: bytes, seq: int) -> Generator:
+        """KV DELETE: a tombstone entry in the Dev-LSM."""
+        self._count("delete")
+        yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
+        entry = make_entry(key, seq, None, kind=KIND_DELETE)
+        yield from self.devlsm.put(entry)
+
+    def get(self, key: bytes) -> Generator:
+        """KV GET: returns the newest entry or None."""
+        self._count("get")
+        yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
+        entry = yield from self.devlsm.get(key)
+        if entry is not None:
+            yield from self.pcie.transfer(value_size(entry[3]))
+        return entry
+
+    def exist(self, key: bytes) -> Generator:
+        """KV EXIST: membership probe without value transfer."""
+        self._count("exist")
+        yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
+        entry = yield from self.devlsm.get(key)
+        return entry is not None and entry[2] != KIND_DELETE
+
+    # -- iterators ------------------------------------------------------------
+    def create_iterator(self) -> Generator:
+        """Open a device iterator (SEEK/NEXT served per-command)."""
+        self._count("iter_open")
+        yield from self.pcie.transfer(_CAPSULE_BYTES)
+        it = yield from self.devlsm.create_iterator()
+        return it
+
+    def iter_seek(self, it: DevIterator, key: bytes) -> Generator:
+        self._count("iter_seek")
+        yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
+        it.seek(key)
+        if it.valid:
+            yield from self.pcie.transfer(entry_size(it.entry()))
+            return it.entry()
+        return None
+
+    def iter_next(self, it: DevIterator) -> Generator:
+        """Advance and return the next entry (uncached — Table V's cost)."""
+        self._count("iter_next")
+        yield from self.pcie.transfer(_CAPSULE_BYTES)
+        yield from self.devlsm.iter_next_cost()
+        it.next()
+        if it.valid:
+            yield from self.pcie.transfer(entry_size(it.entry()))
+            return it.entry()
+        return None
+
+    # -- bulk ops --------------------------------------------------------------
+    def bulk_scan(self) -> Generator:
+        """Bulky range scan of the whole Dev-LSM (rollback step 3-6)."""
+        self._count("bulk_scan")
+        yield from self.pcie.transfer(_CAPSULE_BYTES)
+        entries = yield from self.devlsm.bulk_scan(self.pcie)
+        return entries
+
+    def reset(self) -> Generator:
+        """Reset the Dev-LSM (rollback step 8)."""
+        self._count("reset")
+        yield from self.pcie.transfer(_CAPSULE_BYTES)
+        self.devlsm.reset()
+        return None
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.devlsm.is_empty
+
+    @property
+    def entry_count(self) -> int:
+        return self.devlsm.entry_count

@@ -1,0 +1,98 @@
+"""NAND flash array timing model.
+
+The array is the shared backend behind both interfaces of the hybrid SSD.
+Service of an I/O of ``n`` bytes takes ``op-latency + n / op-bandwidth``
+where the bandwidths derive from geometry (channel/way pipelining) clamped
+to a measured device peak (the Cosmos+ peaks at ~630 MB/s, Section III-A).
+
+Requests are served FIFO through a shared channel resource — this is what
+makes host flush/compaction I/O and redirected KV writes contend for the
+same NAND, a first-order effect for KVACCEL (the KV region shares the NAND
+with the block region).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Environment, PriorityResource, Resource
+from .geometry import MiB, NandGeometry
+from .pcie import TrafficLedger
+
+__all__ = ["NandArray"]
+
+
+class NandArray:
+    """Timing front-end for the raw NAND behind the FTL."""
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: NandGeometry,
+        peak_bandwidth: Optional[float] = 630 * MiB,
+        lanes: Optional[int] = None,
+        priority_scheduling: bool = False,
+    ):
+        self.env = env
+        self.geometry = geometry
+        cap = peak_bandwidth if peak_bandwidth else float("inf")
+        self.read_bw = min(geometry.peak_read_bw, cap)
+        self.program_bw = min(geometry.peak_program_bw, cap)
+        # Default: one FIFO lane at full array bandwidth.  The FTL stripes
+        # any single request across all channels/ways, so one sequential
+        # stream already reaches device peak; concurrency shows up as
+        # queueing, which is how a saturated SSD behaves.  Pass ``lanes`` to
+        # model per-stream channel partitioning instead.
+        # ``priority_scheduling`` swaps the queue for a priority queue
+        # (SILK-style: latency-critical flush/WAL I/O jumps ahead of
+        # background compaction I/O).
+        self.priority_scheduling = priority_scheduling
+        if priority_scheduling:
+            self._res = PriorityResource(env, capacity=lanes or 1)
+        else:
+            self._res = Resource(env, capacity=lanes or 1)
+        self.ledger = TrafficLedger(bucket=1.0)
+        self.busy_time = 0.0
+        t = geometry.timing
+        self._lat_read = t.t_read
+        self._lat_program = t.t_program
+        self._lat_erase = t.t_erase
+
+    def service_time(self, op: str, nbytes: float) -> float:
+        if op == "read":
+            return self._lat_read + nbytes / self.read_bw
+        if op == "program":
+            return self._lat_program + nbytes / self.program_bw
+        if op == "erase":
+            return self._lat_erase
+        raise ValueError(f"unknown NAND op {op!r}")
+
+    def io(self, op: str, nbytes: float, priority: int = 0) -> Generator:
+        """Perform a NAND operation (blocking process generator).
+
+        With multiple lanes, the effective per-request bandwidth is the
+        whole-array bandwidth divided by the lane count, so aggregate
+        concurrent throughput equals the array peak.
+
+        ``priority`` matters only with ``priority_scheduling``: lower
+        values are served first (0 = latency-critical, e.g. flush/WAL;
+        higher = background, e.g. compaction).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        dt = self.service_time(op, nbytes)
+        if self._res.capacity > 1 and op != "erase":
+            lat = {"read": self._lat_read, "program": self._lat_program}[op]
+            dt = lat + (dt - lat) * self._res.capacity
+        req = (self._res.request(priority=priority) if self.priority_scheduling
+               else self._res.request())
+        with req:
+            yield req
+            t0 = self.env.now
+            yield self.env.timeout(dt)
+            self.busy_time += dt
+            self.ledger.record(t0, self.env.now, nbytes)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._res.queue)

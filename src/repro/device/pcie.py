@@ -1,0 +1,157 @@
+"""PCIe link model and byte-traffic accounting.
+
+The paper measures host<->device PCIe traffic at 1-second granularity with
+Intel PCM (Figs 4, 5, 14).  :class:`TrafficLedger` is our PCM: every
+transfer records its byte count spread over the simulated-time interval it
+occupied, so per-second buckets can be read back as a time series.
+
+:class:`BandwidthPipe` models a shared, FIFO link: a transfer of ``n`` bytes
+holds the pipe for ``latency + n / bandwidth`` seconds.  The PCIe pipe and
+the NAND backend pipe are both instances; the PCIe pipe also owns a ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from ..sim import Environment, Resource
+
+__all__ = ["TrafficLedger", "BandwidthPipe", "PcieLink"]
+
+
+class TrafficLedger:
+    """Per-second byte accounting, PCM-style.
+
+    Bytes of a transfer spanning [t0, t1) are attributed to 1-second buckets
+    proportionally to the overlap, matching how a hardware counter sampled
+    once a second would see a long DMA.
+    """
+
+    def __init__(self, bucket: float = 1.0):
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        self.bucket = bucket
+        self._buckets: dict[int, float] = {}
+        self.total_bytes = 0.0
+
+    def record(self, t0: float, t1: float, nbytes: float) -> None:
+        """Attribute ``nbytes`` transferred during [t0, t1)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if t1 < t0:
+            raise ValueError("t1 < t0")
+        self.total_bytes += nbytes
+        if nbytes == 0:
+            return
+        if t1 == t0:
+            self._buckets[int(t0 / self.bucket)] = (
+                self._buckets.get(int(t0 / self.bucket), 0.0) + nbytes
+            )
+            return
+        rate = nbytes / (t1 - t0)
+        first = int(t0 / self.bucket)
+        last = int(math.ceil(t1 / self.bucket)) - 1
+        for b in range(first, last + 1):
+            lo = max(t0, b * self.bucket)
+            hi = min(t1, (b + 1) * self.bucket)
+            if hi > lo:
+                self._buckets[b] = self._buckets.get(b, 0.0) + rate * (hi - lo)
+
+    def series(self, t_end: Optional[float] = None) -> tuple[list[float], list[float]]:
+        """Return (times, bytes-per-bucket) from t=0 to t_end (or max seen)."""
+        if not self._buckets and t_end is None:
+            return [], []
+        last = int(math.ceil((t_end or 0) / self.bucket)) - 1 if t_end else max(self._buckets)
+        if self._buckets:
+            last = max(last, max(self._buckets))
+        times = [(b + 1) * self.bucket for b in range(0, last + 1)]
+        values = [self._buckets.get(b, 0.0) for b in range(0, last + 1)]
+        return times, values
+
+    def bytes_in(self, t0: float, t1: float) -> float:
+        """Total bytes attributed to [t0, t1), prorating edge buckets."""
+        total = 0.0
+        for b, v in self._buckets.items():
+            lo, hi = b * self.bucket, (b + 1) * self.bucket
+            overlap = min(hi, t1) - max(lo, t0)
+            if overlap > 0:
+                total += v * overlap / self.bucket
+        return total
+
+
+class BandwidthPipe:
+    """A FIFO bandwidth-limited channel with optional per-transfer latency.
+
+    ``transfer`` is a process generator: ``yield from pipe.transfer(n)``
+    blocks the calling process for queueing + service time and records the
+    service interval in the ledger (if any).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        latency: float = 0.0,
+        ledger: Optional[TrafficLedger] = None,
+        name: str = "pipe",
+        lanes: int = 1,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.ledger = ledger
+        self.name = name
+        self._res = Resource(env, capacity=max(1, lanes))
+        self.busy_time = 0.0
+
+    def service_time(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: float) -> Generator:
+        """Move ``nbytes`` through the pipe (blocking process generator)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._res.request() as req:
+            yield req
+            t0 = self.env.now
+            dt = self.service_time(nbytes)
+            yield self.env.timeout(dt)
+            self.busy_time += dt
+            if self.ledger is not None:
+                self.ledger.record(t0, self.env.now, nbytes)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._res.queue)
+
+
+class PcieLink(BandwidthPipe):
+    """The host<->device PCIe link.
+
+    Defaults to PCIe Gen2 x8 (4 GB/s theoretical, as in the paper's setup).
+    All host-visible transfers — block reads/writes, NVMe-KV command
+    payloads, bulk-scan DMA — go through here, so its ledger is exactly what
+    Intel PCM measured in the paper.
+    """
+
+    GEN2_X8 = 4 * 1024**3  # bytes/s
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float = GEN2_X8,
+        latency: float = 5e-6,
+        bucket: float = 1.0,
+    ):
+        super().__init__(
+            env,
+            bandwidth=bandwidth,
+            latency=latency,
+            ledger=TrafficLedger(bucket=bucket),
+            name="pcie",
+        )

@@ -1,0 +1,71 @@
+"""Bloom filter for SSTable key membership.
+
+Standard double-hashing construction (Kirsch-Mitzenmacher): ``k`` probe
+positions derived from two independent 64-bit hashes of the key.  RocksDB
+builds one filter per SST; a negative probe lets reads skip the file's data
+blocks entirely, which is what keeps point-read I/O bounded as levels grow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+__all__ = ["BloomFilter"]
+
+
+def _hash128(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:], "little") | 1,  # odd => good stride
+    )
+
+
+class BloomFilter:
+    """Fixed-size bloom filter with configurable bits/key."""
+
+    def __init__(self, num_keys: int, bits_per_key: int = 10):
+        if num_keys < 0:
+            raise ValueError("num_keys must be >= 0")
+        if bits_per_key < 1:
+            raise ValueError("bits_per_key must be >= 1")
+        self.num_bits = max(64, num_keys * bits_per_key)
+        # optimal k = bits/key * ln2, clamped to [1, 30] like RocksDB
+        self.k = max(1, min(30, int(round(bits_per_key * math.log(2)))))
+        self._bits = 0  # big int as bit array: compact and fast in Python
+        self.num_added = 0
+
+    def add(self, key: bytes) -> None:
+        h1, h2 = _hash128(key)
+        bits = self._bits
+        n = self.num_bits
+        for i in range(self.k):
+            bits |= 1 << ((h1 + i * h2) % n)
+        self._bits = bits
+        self.num_added += 1
+
+    def add_all(self, keys: Iterable[bytes]) -> None:
+        for k in keys:
+            self.add(k)
+
+    def may_contain(self, key: bytes) -> bool:
+        h1, h2 = _hash128(key)
+        bits = self._bits
+        n = self.num_bits
+        for i in range(self.k):
+            if not (bits >> ((h1 + i * h2) % n)) & 1:
+                return False
+        return True
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_bits // 8
+
+    def false_positive_rate(self) -> float:
+        """Expected FP rate for the current fill level."""
+        if self.num_added == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.k * self.num_added / self.num_bits)
+        return fill ** self.k

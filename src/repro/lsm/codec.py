@@ -1,0 +1,115 @@
+"""Binary codec for entries and SST blocks.
+
+The big simulations keep entries as tuples and charge *arithmetic* sizes
+(DESIGN.md decision D1), but the format below is a real varint-framed
+record codec used by the round-trip tests and the durability example, so
+the on-media layout is not hand-waved.
+
+Record layout::
+
+    varint key_len | key | varint seq | 1B kind | varint value_len | value
+
+DELETE records have value_len = 0 and carry no value bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..types import KIND_DELETE, KIND_PUT, Entry, materialize
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_entry",
+    "decode_entry",
+    "encode_block",
+    "decode_block",
+]
+
+
+def encode_varint(n: int) -> bytes:
+    """LEB128 unsigned varint."""
+    if n < 0:
+        raise ValueError("varints are unsigned")
+    out = bytearray()
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return bytes(out)
+
+
+def decode_varint(buf: bytes, pos: int = 0) -> tuple[int, int]:
+    """Return (value, next_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated varint")
+        b = buf[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_entry(entry: Entry) -> bytes:
+    key, seq, kind, value = entry
+    if kind not in (KIND_PUT, KIND_DELETE):
+        raise ValueError(f"bad kind {kind}")
+    out = bytearray()
+    out += encode_varint(len(key))
+    out += key
+    out += encode_varint(seq)
+    out.append(kind)
+    if kind == KIND_DELETE:
+        out += encode_varint(0)
+    else:
+        data = materialize(value)
+        out += encode_varint(len(data))
+        out += data
+    return bytes(out)
+
+
+def decode_entry(buf: bytes, pos: int = 0) -> tuple[Entry, int]:
+    klen, pos = decode_varint(buf, pos)
+    key = bytes(buf[pos:pos + klen])
+    if len(key) != klen:
+        raise ValueError("truncated key")
+    pos += klen
+    seq, pos = decode_varint(buf, pos)
+    if pos >= len(buf):
+        raise ValueError("truncated kind")
+    kind = buf[pos]
+    pos += 1
+    vlen, pos = decode_varint(buf, pos)
+    value = bytes(buf[pos:pos + vlen])
+    if len(value) != vlen:
+        raise ValueError("truncated value")
+    pos += vlen
+    if kind == KIND_DELETE:
+        return (key, seq, KIND_DELETE, None), pos
+    return (key, seq, KIND_PUT, value), pos
+
+
+def encode_block(entries: Iterable[Entry]) -> bytes:
+    out = bytearray()
+    for e in entries:
+        out += encode_entry(e)
+    return bytes(out)
+
+
+def decode_block(buf: bytes) -> list:
+    entries = []
+    pos = 0
+    while pos < len(buf):
+        e, pos = decode_entry(buf, pos)
+        entries.append(e)
+    return entries

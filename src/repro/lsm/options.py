@@ -1,0 +1,156 @@
+"""Host LSM-KVS configuration, mirroring RocksDB's option names.
+
+The stall-related knobs reproduce RocksDB's write-stall conditions
+(https://github.com/facebook/rocksdb/wiki/Write-Stalls, paper Section II-A):
+
+* memtable stall — immutable memtables pile up to ``max_write_buffer_number``;
+* L0 stall — file count reaches ``level0_stop_writes_trigger`` (slowdown at
+  ``level0_slowdown_writes_trigger``);
+* pending-compaction-bytes stall — estimated backlog crosses the hard limit
+  (slowdown at the soft limit).
+
+``slowdown_enabled`` toggles the delayed-write mechanism (Fig 2/3 compare
+both settings); ``delayed_write_rate`` is the token-bucket rate applied
+while in the DELAYED state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..device.geometry import KiB, MiB
+
+__all__ = ["LsmOptions", "CpuCosts"]
+
+
+@dataclass
+class CpuCosts:
+    """Host CPU time constants (seconds) for the cost model.
+
+    Values are in the range measured for RocksDB-class engines on a modern
+    Xeon; the paper's efficiency metric depends on the ratios, not the
+    absolute numbers.
+    """
+
+    put: float = 4.0e-6            # WAL encode + memtable insert per op
+    get: float = 5.0e-6            # memtable/SST probe logic per op
+    seek: float = 12.0e-6          # iterator seek
+    next: float = 1.0e-6           # iterator next
+    flush_per_byte: float = 0.8e-9     # memtable -> SST encode (~1.2 GB/s)
+    compact_per_byte: float = 1.0e-9   # merge per input byte (~1 GB/s Xeon);
+                                       # compaction is device-bound, as on the
+                                       # paper's testbed (Section VI-A)
+
+
+@dataclass
+class LsmOptions:
+    """RocksDB-flavoured options for the simulated host LSM."""
+
+    # memtable
+    write_buffer_size: int = 128 * MiB          # Table III: MT size 128 MB
+    max_write_buffer_number: int = 2
+
+    # level shape
+    level0_file_num_compaction_trigger: int = 4
+    level0_slowdown_writes_trigger: int = 20
+    level0_stop_writes_trigger: int = 36
+    max_bytes_for_level_base: int = 256 * MiB
+    max_bytes_for_level_multiplier: int = 10
+    num_levels: int = 7
+    target_file_size_base: int = 64 * MiB
+
+    # pending compaction debt
+    soft_pending_compaction_bytes_limit: int = 4 * 1024 * MiB
+    hard_pending_compaction_bytes_limit: int = 16 * 1024 * MiB
+
+    # write throttling
+    slowdown_enabled: bool = True
+    delayed_write_rate: float = 8 * MiB         # bytes/s while DELAYED
+    slowdown_sleep: float = 1e-3                # 1 ms write-thread naps (§III-A)
+
+    # background work
+    max_background_compactions: int = 1         # thread count (Table III)
+    max_background_flushes: int = 1
+    max_subcompactions: int = 2                 # split one job across threads
+                                                # (RocksDB defaults to 1; 2 keeps
+                                                # thread scaling visible without
+                                                # erasing 4-thread stalls)
+    compaction_io_chunk: int = 2 * MiB          # read-merge-write granularity
+    compaction_readahead: int = 2 * MiB
+
+    # SST layout
+    block_size: int = 16 * KiB
+    bloom_bits_per_key: int = 10
+
+    # WAL
+    wal_enabled: bool = True
+    wal_group_commit_bytes: int = 256 * KiB
+
+    # CPU model
+    cpu: CpuCosts = field(default_factory=CpuCosts)
+
+    def __post_init__(self) -> None:
+        if self.write_buffer_size <= 0:
+            raise ValueError("write_buffer_size must be positive")
+        if self.max_write_buffer_number < 2:
+            raise ValueError("max_write_buffer_number must be >= 2")
+        if not (0 < self.level0_file_num_compaction_trigger
+                <= self.level0_slowdown_writes_trigger
+                <= self.level0_stop_writes_trigger):
+            raise ValueError("L0 triggers must be ordered: compact <= slowdown <= stop")
+        if self.soft_pending_compaction_bytes_limit > self.hard_pending_compaction_bytes_limit:
+            raise ValueError("soft pending limit must be <= hard limit")
+        if self.max_background_compactions < 1 or self.max_background_flushes < 1:
+            raise ValueError("background thread counts must be >= 1")
+        if self.num_levels < 2:
+            raise ValueError("num_levels must be >= 2")
+        if self.delayed_write_rate <= 0:
+            raise ValueError("delayed_write_rate must be positive")
+
+    def max_bytes_for_level(self, level: int) -> int:
+        """Size target for level ``level`` (level 1 = base)."""
+        if level < 1:
+            raise ValueError("levels >= 1 have size targets")
+        return self.max_bytes_for_level_base * (
+            self.max_bytes_for_level_multiplier ** (level - 1)
+        )
+
+    def scaled(self, factor: float) -> "LsmOptions":
+        """Scale all byte capacities by ``factor`` (mini profile).
+
+        Rates (delayed_write_rate), counts (triggers, threads) and CPU
+        costs are left untouched so throughput and CPU% remain directly
+        comparable to the paper while run horizons shrink.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+
+        def sz(x: int) -> int:
+            return max(4 * KiB, int(x * factor))
+
+        return LsmOptions(
+            write_buffer_size=sz(self.write_buffer_size),
+            max_write_buffer_number=self.max_write_buffer_number,
+            level0_file_num_compaction_trigger=self.level0_file_num_compaction_trigger,
+            level0_slowdown_writes_trigger=self.level0_slowdown_writes_trigger,
+            level0_stop_writes_trigger=self.level0_stop_writes_trigger,
+            max_bytes_for_level_base=sz(self.max_bytes_for_level_base),
+            max_bytes_for_level_multiplier=self.max_bytes_for_level_multiplier,
+            num_levels=self.num_levels,
+            target_file_size_base=sz(self.target_file_size_base),
+            soft_pending_compaction_bytes_limit=sz(self.soft_pending_compaction_bytes_limit),
+            hard_pending_compaction_bytes_limit=sz(self.hard_pending_compaction_bytes_limit),
+            slowdown_enabled=self.slowdown_enabled,
+            delayed_write_rate=self.delayed_write_rate,
+            slowdown_sleep=self.slowdown_sleep,
+            max_background_compactions=self.max_background_compactions,
+            max_background_flushes=self.max_background_flushes,
+            max_subcompactions=self.max_subcompactions,
+            compaction_io_chunk=sz(self.compaction_io_chunk),
+            compaction_readahead=sz(self.compaction_readahead),
+            block_size=self.block_size,
+            bloom_bits_per_key=self.bloom_bits_per_key,
+            wal_enabled=self.wal_enabled,
+            wal_group_commit_bytes=sz(self.wal_group_commit_bytes),
+            cpu=self.cpu,
+        )

@@ -1,0 +1,163 @@
+"""Sorted String Tables.
+
+An SST holds a sorted, key-unique list of entries partitioned into
+fixed-byte-budget data blocks, plus an index (first key per block) and a
+per-file bloom filter.  Point reads touch the bloom and index in memory
+(RocksDB pins them in block cache) and pay device I/O for exactly the data
+blocks fetched — :meth:`SSTable.probe` returns the byte count so the DB can
+charge the device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..types import Entry, entry_size
+from .bloom import BloomFilter
+from .codec import decode_block, encode_block
+
+__all__ = ["SSTable", "ProbeResult"]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a point probe: the entry (if any) and the I/O it cost."""
+
+    entry: Optional[Entry]
+    bytes_read: int
+    bloom_negative: bool = False
+
+
+class SSTable:
+    """Immutable sorted table."""
+
+    def __init__(self, file_number: int, entries: Sequence[Entry],
+                 block_size: int = 16 * 1024, bloom_bits_per_key: int = 10):
+        if not entries:
+            raise ValueError("SSTable cannot be empty")
+        self.file_number = file_number
+        self.entries = list(entries)
+        for a, b in zip(self.entries, self.entries[1:]):
+            if a[0] >= b[0]:
+                raise ValueError("entries must be sorted and key-unique")
+        self.block_size = block_size
+        self.smallest = self.entries[0][0]
+        self.largest = self.entries[-1][0]
+
+        # Partition into blocks by byte budget.
+        self._block_starts: list[int] = []   # entry index where block begins
+        self._block_first_keys: list[bytes] = []
+        self._block_bytes: list[int] = []
+        cur = 0
+        for i, e in enumerate(self.entries):
+            sz = entry_size(e)
+            if not self._block_starts or cur + sz > block_size and cur > 0:
+                self._block_starts.append(i)
+                self._block_first_keys.append(e[0])
+                self._block_bytes.append(0)
+                cur = 0
+            self._block_bytes[-1] += sz
+            cur += sz
+
+        self.data_bytes = sum(self._block_bytes)
+        self.bloom = BloomFilter(len(self.entries), bloom_bits_per_key)
+        for e in self.entries:
+            self.bloom.add(e[0])
+        # File footprint: data + filter + index approximation.
+        self.file_bytes = (self.data_bytes + self.bloom.size_bytes
+                           + 24 * len(self._block_starts) + 128)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._block_starts)
+
+    def overlaps(self, smallest: bytes, largest: bytes) -> bool:
+        return not (self.largest < smallest or largest < self.smallest)
+
+    # -- reads -----------------------------------------------------------
+    def _block_for(self, key: bytes) -> int:
+        """Index of the block that could hold ``key`` (-1 if before all)."""
+        lo, hi = 0, len(self._block_first_keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._block_first_keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1
+
+    def probe(self, key: bytes) -> ProbeResult:
+        """Point lookup with cost accounting.
+
+        Bloom negative => zero I/O.  Otherwise one data block is read.
+        """
+        if key < self.smallest or key > self.largest:
+            return ProbeResult(None, 0, bloom_negative=False)
+        if not self.bloom.may_contain(key):
+            return ProbeResult(None, 0, bloom_negative=True)
+        b = self._block_for(key)
+        if b < 0:
+            return ProbeResult(None, 0)
+        cost = self._block_bytes[b]
+        start = self._block_starts[b]
+        end = (self._block_starts[b + 1] if b + 1 < len(self._block_starts)
+               else len(self.entries))
+        lo, hi = start, end
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < end and self.entries[lo][0] == key:
+            return ProbeResult(self.entries[lo], cost)
+        return ProbeResult(None, cost)
+
+    def lower_bound(self, key: bytes) -> int:
+        """Entry index of the first key >= ``key``."""
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def iter_from(self, key: Optional[bytes] = None) -> Iterator[Entry]:
+        start = 0 if key is None else self.lower_bound(key)
+        return iter(self.entries[start:])
+
+    def block_of_entry(self, idx: int) -> int:
+        """Block index containing entry ``idx`` (for scan I/O accounting)."""
+        lo, hi = 0, len(self._block_starts)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._block_starts[mid] <= idx:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1
+
+    def block_bytes(self, block_idx: int) -> int:
+        return self._block_bytes[block_idx]
+
+    # -- serialization (tests / durability example) --------------------------
+    def to_bytes(self) -> bytes:
+        return encode_block(self.entries)
+
+    @classmethod
+    def from_bytes(cls, file_number: int, data: bytes,
+                   block_size: int = 16 * 1024,
+                   bloom_bits_per_key: int = 10) -> "SSTable":
+        return cls(file_number, decode_block(data), block_size, bloom_bits_per_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SSTable(#{self.file_number}, n={self.num_entries}, "
+                f"[{self.smallest!r}..{self.largest!r}])")

@@ -1,0 +1,195 @@
+"""RocksDB-style write controller: stop, delay, and token-bucket throttling.
+
+This is the machinery the paper's Section III-A dissects.  Three stall
+classes (SILK/ADOC taxonomy):
+
+1. memtable — all write buffers full (flush can't keep up);
+2. L0 — file count at the stop trigger (L0->L1 compaction serialized);
+3. pending compaction bytes — backlog above the hard limit.
+
+The *slowdown* mechanism anticipates these: when the softer thresholds
+(slowdown trigger / soft limit / buffers nearly full) are crossed, writes
+are throttled to ``delayed_write_rate`` via 1 ms write-thread naps.  With
+``slowdown_enabled=False`` the DB runs at full speed until it slams into a
+hard stop — exactly the Fig 2 (a)/(b) vs (c)/(d) comparison.
+
+The controller also keeps the stall/slowdown books the experiments read:
+stall intervals (for the PCIe-during-stall CDF), slowdown event counts
+(Fig 3's 258 / 433), and cumulative stalled/delayed time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..sim import Environment, Event
+from .options import LsmOptions
+
+__all__ = ["WriteController", "WriteState", "StallReason"]
+
+
+class WriteState:
+    NORMAL = "normal"
+    DELAYED = "delayed"
+    STOPPED = "stopped"
+
+
+class StallReason:
+    NONE = "none"
+    MEMTABLE = "memtable"
+    L0 = "l0"
+    PENDING_BYTES = "pending_bytes"
+
+
+class WriteController:
+    """Gates the write path according to LSM back-pressure."""
+
+    def __init__(self, env: Environment, options: LsmOptions,
+                 stats_fn: Callable[[], tuple[int, int, int, bool]]):
+        """``stats_fn`` returns (immutable_memtables, l0_files,
+        pending_bytes, active_memtable_full)."""
+        self.env = env
+        self.options = options
+        self.stats_fn = stats_fn
+
+        self.state = WriteState.NORMAL
+        self.reason = StallReason.NONE
+        self._clear_event: Optional[Event] = None
+        self._next_allowed = 0.0   # token bucket cursor for delayed writes
+        # Adaptive delayed-write rate (RocksDB WriteController): starts at
+        # options.delayed_write_rate on entering DELAYED, then multiplies
+        # down while the backlog worsens and up while it drains.  The
+        # observable floor (paper Fig 2: "up to 2 Kops/s") is the min rate.
+        self.current_delay_rate = options.delayed_write_rate
+        self.min_delay_rate = options.delayed_write_rate / 2
+        self.max_delay_rate = options.delayed_write_rate * 16
+        self._last_backlog: Optional[tuple] = None
+
+        # books
+        self.stall_intervals: list[tuple[float, float]] = []
+        self._stall_start: Optional[float] = None
+        self.slowdown_events = 0
+        self.stall_events = 0
+        self.total_stall_time = 0.0
+        self.total_delayed_time = 0.0
+
+    # -- state machine -----------------------------------------------------
+    def _conditions(self) -> tuple[str, str]:
+        imm, l0, pending, mem_full = self.stats_fn()
+        opt = self.options
+        # RocksDB semantics: with N write buffers, one stays active and the
+        # writer keeps filling it while up to N-1 immutables flush in the
+        # background.  Writes stop only when the active buffer is full AND
+        # the immutable backlog is at its limit (flush can't keep up).
+        if mem_full and imm >= max(1, opt.max_write_buffer_number - 1):
+            return WriteState.STOPPED, StallReason.MEMTABLE
+        if l0 >= opt.level0_stop_writes_trigger:
+            return WriteState.STOPPED, StallReason.L0
+        if pending >= opt.hard_pending_compaction_bytes_limit:
+            return WriteState.STOPPED, StallReason.PENDING_BYTES
+        if l0 >= opt.level0_slowdown_writes_trigger:
+            return WriteState.DELAYED, StallReason.L0
+        if pending >= opt.soft_pending_compaction_bytes_limit:
+            return WriteState.DELAYED, StallReason.PENDING_BYTES
+        return WriteState.NORMAL, StallReason.NONE
+
+    def _adapt_delay_rate(self) -> None:
+        """Multiplicative rate control while DELAYED (RocksDB-style).
+
+        Deliberately asymmetric: the rate backs off fast while the backlog
+        worsens (x0.71, RocksDB's kIncSlowdownRatio inverse) and recovers
+        slowly (x1.05) — RocksDB keeps throttling hard until the stall
+        condition actually clears, which is why the paper observes long
+        windows pinned near the 2 Kops/s floor (Fig 2 c/d).
+        """
+        imm, l0, pending, _full = self.stats_fn()
+        backlog = (l0, pending)
+        if self._last_backlog is not None:
+            if backlog > self._last_backlog:
+                self.current_delay_rate = max(self.min_delay_rate,
+                                              self.current_delay_rate * 0.71)
+            elif backlog < self._last_backlog:
+                self.current_delay_rate = min(self.max_delay_rate,
+                                              self.current_delay_rate * 1.05)
+        self._last_backlog = backlog
+
+    def refresh(self) -> None:
+        """Re-evaluate conditions; called after any LSM state change."""
+        new_state, new_reason = self._conditions()
+        old_state = self.state
+        if new_state == old_state:
+            self.reason = new_reason
+            if new_state == WriteState.DELAYED:
+                self._adapt_delay_rate()
+            return
+        now = self.env.now
+        # leaving STOPPED
+        if old_state == WriteState.STOPPED:
+            if self._stall_start is not None:
+                self.stall_intervals.append((self._stall_start, now))
+                self.total_stall_time += now - self._stall_start
+                self._stall_start = None
+            ev, self._clear_event = self._clear_event, None
+            if ev is not None:
+                ev.succeed()
+        # entering STOPPED
+        if new_state == WriteState.STOPPED:
+            self._stall_start = now
+            self.stall_events += 1
+            self._clear_event = self.env.event()
+        # entering DELAYED from any other state counts one slowdown instance
+        if new_state == WriteState.DELAYED and self.options.slowdown_enabled:
+            self.slowdown_events += 1
+            self.current_delay_rate = self.options.delayed_write_rate
+            self._last_backlog = None
+        self.state = new_state
+        self.reason = new_reason
+
+    # -- the gate ---------------------------------------------------------
+    def gate(self, nbytes: int) -> Generator:
+        """Block the writer according to the current state.
+
+        Returns the seconds this write was held (stall + delay), so the
+        caller can fold it into per-op latency.
+        """
+        held = 0.0
+        opt = self.options
+        while True:
+            self.refresh()
+            if self.state == WriteState.STOPPED:
+                t0 = self.env.now
+                assert self._clear_event is not None
+                yield self._clear_event
+                held += self.env.now - t0
+                continue  # conditions may have re-degraded
+            if self.state == WriteState.DELAYED and opt.slowdown_enabled:
+                now = self.env.now
+                self._next_allowed = max(self._next_allowed, now)
+                wait = self._next_allowed - now
+                self._next_allowed += nbytes / self.current_delay_rate
+                if wait > 0:
+                    # nap in slowdown_sleep quanta like RocksDB's 1 ms sleeps
+                    t0 = now
+                    remaining = wait
+                    while remaining > 0:
+                        nap = min(opt.slowdown_sleep, remaining)
+                        yield self.env.timeout(nap)
+                        remaining -= nap
+                    dt = self.env.now - t0
+                    held += dt
+                    self.total_delayed_time += dt
+            return held
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def is_stall_condition(self) -> bool:
+        """True when slowdown-level pressure exists (the Detector's signal)."""
+        return self.state != WriteState.NORMAL
+
+    def finalize(self) -> None:
+        """Close an open stall interval at end of run (for reporting)."""
+        if self._stall_start is not None:
+            now = self.env.now
+            self.stall_intervals.append((self._stall_start, now))
+            self.total_stall_time += now - self._stall_start
+            self._stall_start = now

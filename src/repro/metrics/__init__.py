@@ -1,0 +1,34 @@
+"""Metrics: latency histograms, run collection, PCIe stall statistics."""
+
+from .analysis import (
+    StallBreakdown,
+    WriteAmplification,
+    device_byte_accounting,
+    stall_breakdown,
+    write_amplification,
+)
+from .collector import RunCollector, RunResult
+from .efficiency import efficiency
+from .histogram import LatencyHistogram
+from .pcie_stats import (
+    StallPcieStats,
+    analyze_stall_pcie,
+    utilization_cdf,
+    zero_traffic_buckets,
+)
+
+__all__ = [
+    "StallBreakdown",
+    "WriteAmplification",
+    "device_byte_accounting",
+    "stall_breakdown",
+    "write_amplification",
+    "RunCollector",
+    "RunResult",
+    "efficiency",
+    "LatencyHistogram",
+    "StallPcieStats",
+    "analyze_stall_pcie",
+    "utilization_cdf",
+    "zero_traffic_buckets",
+]

@@ -1,0 +1,28 @@
+"""The paper's efficiency metric (Eq. 1).
+
+``Efficiency = avg throughput (MB/s) / avg host CPU usage (%)``
+
+Higher is better: the same throughput from less CPU.  KVACCEL(1) scores
+best in Fig 12(c) because redirection adds throughput without adding
+compaction threads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["efficiency"]
+
+
+def efficiency(throughput_bytes_per_s: float, cpu_utilization: float) -> float:
+    """Eq. 1 with throughput in bytes/s and utilisation in [0, 1].
+
+    Returns MB/s per CPU-percent, matching the paper's axis.
+    """
+    if throughput_bytes_per_s < 0:
+        raise ValueError("throughput must be >= 0")
+    if cpu_utilization < 0:
+        raise ValueError("cpu utilization must be >= 0")
+    if cpu_utilization == 0:
+        return 0.0 if throughput_bytes_per_s == 0 else float("inf")
+    mb_per_s = throughput_bytes_per_s / (1024 * 1024)
+    cpu_percent = cpu_utilization * 100.0
+    return mb_per_s / cpu_percent

@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel (SimPy-like, dependency-free)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, PriorityResource, Request, Resource, Store
+from .samplers import PeriodicSampler, RateMeter
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Container",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+    "PeriodicSampler",
+    "RateMeter",
+]

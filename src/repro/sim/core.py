@@ -1,0 +1,408 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free kernel in the style of SimPy: an
+:class:`Environment` owns an event heap and a clock; *processes* are Python
+generators that ``yield`` events (most commonly :class:`Timeout`) and are
+resumed when those events fire.  The kernel is deterministic: events that
+fire at the same timestamp are processed in schedule order.
+
+The whole reproduction (host LSM, device model, workload drivers, samplers)
+is built from processes scheduled on one Environment, which is what lets us
+report per-second time series equivalent to the paper's wall-clock
+measurements.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. triggering an event twice)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, not yet processed
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Events hold a value (or an exception) and a list of callbacks invoked
+    when the event is processed.  Processes waiting on an event are resumed
+    through such callbacks.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+        self._defused = False
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to fire now with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule this event to fire now, raising ``exception`` in waiters."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not re-raise."""
+        self._defused = True
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            raise self._value
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay)
+
+
+class _ProcessResume(Event):
+    """Internal event used to bootstrap / resume a process."""
+
+    __slots__ = ()
+
+
+class Process(Event):
+    """A running generator on the simulation timeline.
+
+    A Process is itself an Event that fires when the generator returns
+    (with the generator's return value) or raises.  Other processes can
+    therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None  # event the process waits on
+        self.name = name or getattr(generator, "__name__", "process")
+        boot = _ProcessResume(env)
+        boot._ok = True
+        boot._state = _TRIGGERED
+        boot.callbacks.append(self._resume)
+        env._schedule(boot)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_ev = _ProcessResume(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev._state = _TRIGGERED
+        interrupt_ev.callbacks.append(self._resume)
+        self.env._schedule(interrupt_ev, priority=True)
+
+    # -- internal ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:  # e.g. interrupted after normal termination
+            return
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self._ok = True
+            self._value = stop.value
+            self._state = _TRIGGERED
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self._state = _TRIGGERED
+            self.env._schedule(self)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_target!r}, expected an Event"
+            )
+        if next_target._state == _PROCESSED:
+            # Already-fired event: resume immediately (same timestamp).
+            resume = _ProcessResume(self.env)
+            resume._ok = next_target._ok
+            resume._value = next_target._value
+            if not next_target._ok:
+                resume._defused = True
+                next_target._defused = True
+            resume._state = _TRIGGERED
+            resume.callbacks.append(self._resume)
+            self.env._schedule(resume)
+            self._target = resume
+        else:
+            # A waiting process will receive any failure via generator.throw,
+            # so the kernel must not re-raise it at callback time.
+            next_target._defused = True
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+
+
+class _MultiEvent(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev._state == _PROCESSED:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev._state == _PROCESSED
+        }
+
+
+class AllOf(_MultiEvent):
+    """Fires when all child events have fired; value is {event: value}."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._results())
+
+
+class AnyOf(_MultiEvent):
+    """Fires when the first child event fires; value is {event: value}."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
+        self._seq += 1
+        # priority events (interrupts) sort before same-time ordinary events
+        heapq.heappush(
+            self._heap, (self._now + delay, 0 if priority else 1, self._seq, event)
+        )
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Schedule a pre-built pending event to fire at absolute time."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        if event._state != _PENDING:
+            raise SimulationError("event already triggered")
+        event._ok = True
+        event._state = _TRIGGERED
+        self._seq += 1
+        heapq.heappush(self._heap, (when, 1, self._seq, event))
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a timestamp or an Event; with an Event, returns its
+        value once it fires.
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"until {deadline} is in the past (now={self._now})")
+
+        while self._heap:
+            if stop_event is not None and stop_event._state == _PROCESSED:
+                break
+            # SimPy semantics: the deadline is exclusive — events scheduled
+            # exactly at `until` are left unprocessed.
+            if self._heap[0][0] >= deadline:
+                self._now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event._state != _PROCESSED:
+                raise SimulationError("run(until=event): event never fired")
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if deadline != float("inf") and self._now < deadline:
+            self._now = deadline
+        return None

@@ -1,0 +1,245 @@
+"""Shared-resource primitives for the simulation kernel.
+
+These model contention: a :class:`Resource` is a counted semaphore with a
+FIFO queue (compaction-thread pools, NAND channels), a :class:`Container`
+holds a continuous level (device DRAM budget), and a :class:`Store` is a
+FIFO of Python objects (work queues between threads).
+
+All request/put/get operations return events, so processes simply ``yield``
+them.  Request events double as context managers so the common pattern is::
+
+    with resource.request() as req:
+        yield req
+        ... hold the resource ...
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Container", "Store", "PriorityResource"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "_released")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+        resource._do_request(self)
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    # Context-manager protocol: releases on exit.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """Counted FIFO resource (semaphore with queue introspection)."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self._capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: int) -> None:
+        """Grow or shrink capacity at runtime (ADOC tunes thread pools).
+
+        Shrinking never revokes granted slots; it only delays future grants.
+        """
+        if value < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = value
+        self._grant()
+
+    @property
+    def count(self) -> int:
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        if request._released:
+            return
+        request._released = True
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Request was still queued: cancel instead.
+            self._cancel(request)
+            return
+        self._grant()
+
+    # -- internal -----------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self.queue.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class PriorityRequest(Request):
+    __slots__ = ("priority", "order")
+
+    def __init__(self, resource: "PriorityResource", priority: int):
+        self.priority = priority
+        self.order = resource._order = resource._order + 1
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is served lowest-priority-value first.
+
+    Used for flush-over-compaction I/O scheduling (SILK-style priorities
+    inside our device queues).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._order = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = min(self.queue, key=lambda r: (r.priority, r.order))
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Container:
+    """A continuous quantity with blocking get/put at level bounds."""
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progress = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed()
+                    progress = True
+
+
+class Store:
+    """FIFO object queue with blocking get."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        self.env = env
+        self.capacity = capacity if capacity is not None else float("inf")
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed()
+                progress = True
+            while self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progress = True
+
+
+def _check_env(env: Environment) -> None:
+    if not isinstance(env, Environment):
+        raise SimulationError("expected an Environment")

@@ -1,0 +1,67 @@
+"""Periodic sampling utilities.
+
+The paper reports 1-second time series (throughput, PCIe traffic via Intel
+PCM).  :class:`PeriodicSampler` is the simulation-side equivalent: a process
+that wakes every ``period`` simulated seconds and appends the value of a
+callback to a series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .core import Environment, Process
+
+__all__ = ["PeriodicSampler", "RateMeter"]
+
+
+class RateMeter:
+    """Counts discrete occurrences and exposes deltas between samples.
+
+    Used for ops/s: the workload driver calls :meth:`add` per completed op,
+    and the sampler reads :meth:`take_delta` once per second.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._last = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.total += amount
+
+    def take_delta(self) -> float:
+        delta = self.total - self._last
+        self._last = self.total
+        return delta
+
+
+class PeriodicSampler:
+    """Samples ``fn()`` every ``period`` sim-seconds into ``times``/``values``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fn: Callable[[], float],
+        period: float = 1.0,
+        name: Optional[str] = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.fn = fn
+        self.period = period
+        self.times: list[float] = []
+        self.values: list[float] = []
+        self._stopped = False
+        self.process: Process = env.process(self._run(), name=name or "sampler")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        while not self._stopped:
+            yield self.env.timeout(self.period)
+            if self._stopped:
+                break
+            self.times.append(self.env.now)
+            self.values.append(self.fn())

@@ -1,0 +1,53 @@
+"""Workload definitions — Table IV of the paper.
+
+=========  =================  ==========================  =====================
+Name       Type               Characteristics             Notes
+=========  =================  ==========================  =====================
+A          fillrandom         1 write thread              no write limit
+B          readwhilewriting   1 write + 1 read thread     9:1 write/read ratio
+C          readwhilewriting   1 write + 1 read thread     8:2 write/read ratio
+D          seekrandom         1 range-query thread        Seek + 1024 Next,
+                                                          after initial fill
+=========  =================  ==========================  =====================
+
+All run 4 B keys and 4 KB values; A-C run for 600 s (scaled by profile), D
+performs a fixed op count after a fill phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorkloadSpec", "WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    name: str
+    kind: str                    # fillrandom | readwhilewriting | seekrandom
+    write_ratio: float = 1.0     # share of ops that are writes (B: 0.9, C: 0.8)
+    read_ratio: float = 0.0
+    seek_nexts: int = 0          # D: Next()s per Seek
+    duration_s: float = 600.0    # paper-scale wall time (profiles rescale)
+    fill_bytes: int = 0          # D: initial fillrandom volume (paper: 20 GB)
+    key_size: int = 4
+    value_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fillrandom", "readwhilewriting", "seekrandom"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if not 0 <= self.write_ratio <= 1 or not 0 <= self.read_ratio <= 1:
+            raise ValueError("ratios must be in [0, 1]")
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "A": WorkloadSpec(name="A", kind="fillrandom",
+                      write_ratio=1.0, read_ratio=0.0),
+    "B": WorkloadSpec(name="B", kind="readwhilewriting",
+                      write_ratio=0.9, read_ratio=0.1),
+    "C": WorkloadSpec(name="C", kind="readwhilewriting",
+                      write_ratio=0.8, read_ratio=0.2),
+    "D": WorkloadSpec(name="D", kind="seekrandom", write_ratio=0.0,
+                      read_ratio=1.0, seek_nexts=1024,
+                      fill_bytes=20 * 1024 ** 3),
+}

@@ -1,0 +1,37 @@
+"""Tests for the `python -m repro.bench` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments import ALL
+
+
+def test_listing(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    for name in ALL:
+        assert name in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_single_experiment_quick(capsys, monkeypatch):
+    # tab06 is the cheapest experiment (pure microbench)
+    assert main(["tab06", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table VI" in out
+    assert "all shape checks passed" in out
+
+
+def test_failed_check_returns_nonzero(monkeypatch, capsys):
+    class FakeCheck:
+        passed = False
+
+    fake = type(ALL["tab06"])("fake")
+    fake.run = lambda quick=False: {"check": FakeCheck()}
+    monkeypatch.setitem(ALL, "fakeexp", fake)
+    assert main(["fakeexp"]) == 1
+    assert "FAILED" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""Smoke tests for the experiment modules (tiny profile, plumbing only).
+
+The benchmarks run these at reproduction scale and assert the paper's
+shapes; here we only verify each module executes end-to-end and returns
+the expected structure on a very small profile.
+"""
+
+import dataclasses
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.bench.experiments import ALL  # noqa: E402
+from repro.bench.profiles import mini_profile  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    p = mini_profile(512)
+    return dataclasses.replace(p, duration=0.4,
+                               seekrandom_fill_bytes=2 * 1024 * 1024)
+
+
+def test_registry_complete():
+    assert set(ALL) == {"fig02", "fig03", "fig04", "fig05", "fig11", "fig12",
+                        "fig13", "fig14", "tab05", "tab06", "sec6d"}
+    for module in ALL.values():
+        assert callable(module.run)
+        assert module.__doc__
+
+
+@pytest.mark.parametrize("name", ["tab06", "sec6d"])
+def test_cheap_experiments_run(name, tiny_profile):
+    out = ALL[name].run(profile=tiny_profile, quick=True)
+    assert "check" in out and "paper" in out
+
+
+def test_fig02_structure(tiny_profile):
+    out = ALL["fig02"].run(profile=tiny_profile)
+    assert set(out["results"]) == {
+        "RocksDB(1) w/o slowdown", "ADOC(1) w/o slowdown",
+        "RocksDB(1)", "ADOC(1)"}
+    assert "zero_buckets" in out
+
+
+def test_fig11_structure(tiny_profile):
+    out = ALL["fig11"].run(profile=tiny_profile)
+    assert set(out["floors"]) == {"RocksDB(1)", "ADOC(1)", "KVAccel(1)"}
+
+
+def test_tab05_structure(tiny_profile):
+    out = ALL["tab05"].run(profile=tiny_profile)
+    assert set(out["throughput"]) == {"RocksDB", "ADOC", "KVAccel"}
+    assert all(v > 0 for v in out["throughput"].values())

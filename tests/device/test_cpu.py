@@ -1,0 +1,104 @@
+"""Tests for the CPU busy-time model."""
+
+import pytest
+
+from repro.device import CpuModel
+from repro.sim import Environment
+
+
+def test_consume_blocks_and_accounts():
+    env = Environment()
+    cpu = CpuModel(env, cores=4)
+    done = []
+
+    def proc():
+        yield from cpu.consume(2.0, tag="work")
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [pytest.approx(2.0)]
+    assert cpu.total_busy == pytest.approx(2.0)
+    assert cpu.busy_by_tag["work"] == pytest.approx(2.0)
+
+
+def test_utilization_window():
+    env = Environment()
+    cpu = CpuModel(env, cores=2)
+
+    def proc():
+        yield from cpu.consume(1.0)
+
+    env.process(proc())
+    env.run(until=4)
+    # 1 busy core-second over 2 cores x 2 seconds in [0,2)
+    assert cpu.utilization(0, 2) == pytest.approx(0.25)
+
+
+def test_oversubscription_stretches_wall_time():
+    env = Environment()
+    cpu = CpuModel(env, cores=1)
+    done = []
+
+    def proc(name):
+        yield from cpu.consume(1.0, tag=name)
+        done.append((name, env.now))
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    # Two threads on one core: second entrant sees 2x stretch.
+    times = dict(done)
+    assert times["a"] == pytest.approx(1.0)
+    assert times["b"] == pytest.approx(2.0)
+    # Busy accounting stays at requested totals.
+    assert cpu.total_busy == pytest.approx(2.0)
+
+
+def test_no_stretch_when_cores_available():
+    env = Environment()
+    cpu = CpuModel(env, cores=8)
+    done = []
+
+    def proc(i):
+        yield from cpu.consume(1.0)
+        done.append(env.now)
+
+    for i in range(4):
+        env.process(proc(i))
+    env.run()
+    assert done == [pytest.approx(1.0)] * 4
+
+
+def test_charge_is_instant():
+    env = Environment()
+    cpu = CpuModel(env, cores=1)
+    cpu.charge(0.5e-6, tag="meta")
+    assert env.now == 0
+    assert cpu.busy_by_tag["meta"] == pytest.approx(0.5e-6)
+
+
+def test_zero_consume_is_noop():
+    env = Environment()
+    cpu = CpuModel(env, cores=1)
+
+    def proc():
+        yield from cpu.consume(0.0)
+        yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+    assert cpu.total_busy == 0
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CpuModel(env, cores=0)
+    cpu = CpuModel(env, cores=1)
+    with pytest.raises(ValueError):
+        list(cpu.consume(-1))
+    with pytest.raises(ValueError):
+        cpu.charge(-1)
+    with pytest.raises(ValueError):
+        cpu.utilization(2, 2)

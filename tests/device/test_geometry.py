@@ -1,0 +1,64 @@
+"""Tests for NAND geometry and timing derivations."""
+
+import pytest
+
+from repro.device import KiB, MiB, NandGeometry, NandTiming
+
+
+def test_default_geometry_capacity():
+    g = NandGeometry()
+    assert g.total_blocks == 4 * 8 * 512
+    assert g.capacity_bytes == g.total_pages * g.page_size
+    # Cosmos+-like: tens of GB at these defaults; sanity band only.
+    assert g.capacity_bytes > 1 * 1024**3
+
+
+def test_derived_bandwidths_positive_and_read_faster():
+    g = NandGeometry()
+    assert g.peak_program_bw > 0
+    assert g.peak_read_bw > 0
+    # tR << tPROG, so read bandwidth must exceed program bandwidth.
+    assert g.peak_read_bw >= g.peak_program_bw
+
+
+def test_program_bw_scales_with_channels():
+    g1 = NandGeometry(channels=1)
+    g4 = NandGeometry(channels=4)
+    assert g4.peak_program_bw == pytest.approx(4 * g1.peak_program_bw)
+
+
+def test_scaled_shrinks_capacity_not_parallelism():
+    g = NandGeometry()
+    s = g.scaled(1 / 64)
+    assert s.channels == g.channels
+    assert s.ways == g.ways
+    assert s.capacity_bytes < g.capacity_bytes
+    assert s.peak_program_bw == g.peak_program_bw
+
+
+def test_scaled_never_zero_blocks():
+    g = NandGeometry()
+    s = g.scaled(1e-9)
+    assert s.blocks_per_way >= 4
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        NandGeometry(channels=0)
+    with pytest.raises(ValueError):
+        NandGeometry(page_size=-1)
+    with pytest.raises(ValueError):
+        NandTiming(t_read=0)
+    with pytest.raises(ValueError):
+        NandGeometry().scaled(0)
+
+
+def test_timing_defaults_sane():
+    t = NandTiming()
+    assert t.t_read < t.t_program < t.t_erase
+    assert t.channel_bw >= 100 * MiB
+
+
+def test_pages_per_way():
+    g = NandGeometry(blocks_per_way=10, pages_per_block=20)
+    assert g.pages_per_way == 200

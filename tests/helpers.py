@@ -1,0 +1,100 @@
+"""Shared test fixtures: small devices and DBs that run fast."""
+
+from __future__ import annotations
+
+from repro.device import (
+    BlockDevice,
+    CpuModel,
+    Ftl,
+    KiB,
+    MiB,
+    NandArray,
+    NandGeometry,
+    PcieLink,
+)
+from repro.lsm import DbImpl, LsmOptions
+from repro.sim import Environment
+
+
+def small_options(**kw) -> LsmOptions:
+    base = dict(
+        write_buffer_size=16 * KiB,
+        level0_file_num_compaction_trigger=2,
+        level0_slowdown_writes_trigger=6,
+        level0_stop_writes_trigger=10,
+        max_bytes_for_level_base=64 * KiB,
+        max_bytes_for_level_multiplier=4,
+        target_file_size_base=16 * KiB,
+        soft_pending_compaction_bytes_limit=256 * KiB,
+        hard_pending_compaction_bytes_limit=1 * MiB,
+        compaction_io_chunk=16 * KiB,
+        wal_group_commit_bytes=4 * KiB,
+        block_size=4 * KiB,
+    )
+    base.update(kw)
+    return LsmOptions(**base)
+
+
+def small_device(env: Environment, peak_mb: float = 200.0,
+                 pcie_mb: float = 1024.0) -> BlockDevice:
+    g = NandGeometry(channels=2, ways=4, blocks_per_way=256,
+                     pages_per_block=32, page_size=4096)
+    ftl = Ftl(g, split_fraction=0.9)
+    nand = NandArray(env, g, peak_bandwidth=peak_mb * MiB)
+    pcie = PcieLink(env, bandwidth=pcie_mb * MiB)
+    return BlockDevice(env, ftl, nand, pcie)
+
+
+def small_db(env: Environment, options: LsmOptions | None = None,
+             cores: int = 8, page_cache_bytes: int | None = None,
+             **db_kw):
+    cpu = CpuModel(env, cores=cores, name="host")
+    dev = small_device(env)
+    db = DbImpl(env, options or small_options(), dev, cpu,
+                page_cache_bytes=page_cache_bytes, **db_kw)
+    return db, dev, cpu
+
+
+def run(env: Environment, gen):
+    """Drive one generator to completion and return its value."""
+    return env.run(until=env.process(gen))
+
+
+def small_hybrid(env: Environment, cores: int = 8, peak_mb: float = 200.0,
+                 devlsm_memtable: int = 8 * KiB):
+    """A small HybridSsd + host CPU for KVACCEL-level tests."""
+    from repro.device import (
+        DevLsmConfig,
+        HybridSsd,
+        HybridSsdConfig,
+    )
+
+    cpu = CpuModel(env, cores=cores, name="host")
+    geo = NandGeometry(channels=2, ways=4, blocks_per_way=256,
+                       pages_per_block=32, page_size=4096)
+    cfg = HybridSsdConfig(
+        geometry=geo,
+        peak_nand_bandwidth=peak_mb * MiB,
+        pcie_bandwidth=1024 * MiB,
+        devlsm=DevLsmConfig(memtable_bytes=devlsm_memtable),
+    )
+    return HybridSsd(env, cpu, cfg), cpu
+
+
+def small_kvaccel(env: Environment, options: LsmOptions | None = None,
+                  rollback: str = "eager", detector_period: float = 0.002,
+                  **kw):
+    """A fast-detector KVACCEL stack on a small hybrid SSD."""
+    from repro.core import DetectorConfig, KvaccelDb
+
+    ssd, cpu = small_hybrid(env)
+    db = KvaccelDb(
+        env,
+        options or small_options(),
+        ssd,
+        cpu,
+        rollback=rollback,
+        detector_config=DetectorConfig(period=detector_period),
+        **kw,
+    )
+    return db, ssd, cpu

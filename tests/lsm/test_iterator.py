@@ -1,0 +1,81 @@
+"""Tests for merging iterators."""
+
+from repro.lsm import k_way_merge, merging_iterator
+from repro.types import KIND_DELETE, encode_key, make_entry
+
+
+def e(k, seq, v=b"v"):
+    return make_entry(encode_key(k), seq, v)
+
+
+def tomb(k, seq):
+    return make_entry(encode_key(k), seq, None, kind=KIND_DELETE)
+
+
+def test_k_way_merge_orders_by_key_then_seq_desc():
+    a = [e(1, 5), e(3, 5)]
+    b = [e(1, 9), e(2, 1)]
+    out = list(k_way_merge([a, b]))
+    assert [(x[0], x[1]) for x in out] == [
+        (encode_key(1), 9), (encode_key(1), 5),
+        (encode_key(2), 1), (encode_key(3), 5),
+    ]
+
+
+def test_merging_dedups_newest_wins():
+    a = [e(1, 5, b"old"), e(2, 7, b"keep")]
+    b = [e(1, 9, b"new")]
+    out = list(merging_iterator([a, b]))
+    assert [(x[0], x[3]) for x in out] == [
+        (encode_key(1), b"new"), (encode_key(2), b"keep"),
+    ]
+
+
+def test_tombstones_hidden_by_default():
+    a = [e(1, 5, b"dead-later")]
+    b = [tomb(1, 9), e(2, 2, b"live")]
+    out = list(merging_iterator([a, b]))
+    assert [x[0] for x in out] == [encode_key(2)]
+
+
+def test_tombstones_included_when_asked():
+    b = [tomb(1, 9), e(2, 2, b"live")]
+    out = list(merging_iterator([b], include_tombstones=True))
+    assert len(out) == 2
+    assert out[0][2] == KIND_DELETE
+
+
+def test_tombstone_shadowed_by_newer_put():
+    a = [tomb(1, 5)]
+    b = [e(1, 9, b"reborn")]
+    out = list(merging_iterator([a, b]))
+    assert [(x[0], x[3]) for x in out] == [(encode_key(1), b"reborn")]
+
+
+def test_empty_sources():
+    assert list(merging_iterator([])) == []
+    assert list(merging_iterator([[], []])) == []
+
+
+def test_many_sources_against_reference_model():
+    import random
+    rng = random.Random(11)
+    sources = []
+    model = {}
+    seq = 0
+    for _ in range(8):
+        keys = sorted(rng.sample(range(60), rng.randrange(1, 25)))
+        src = []
+        for k in keys:
+            seq += 1
+            val = bytes([seq % 251])
+            src.append(e(k, seq, val))
+        sources.append(src)
+    for src in sources:
+        for entry in src:
+            cur = model.get(entry[0])
+            if cur is None or entry[1] > cur[1]:
+                model[entry[0]] = entry
+    expected = [model[k] for k in sorted(model)]
+    got = list(merging_iterator(sources))
+    assert got == expected

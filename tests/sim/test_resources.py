@@ -1,0 +1,268 @@
+"""Unit tests for Resource / PriorityResource / Container / Store."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+def test_resource_capacity_enforced():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+    peak = []
+
+    def worker(i):
+        with res.request() as req:
+            yield req
+            active.append(i)
+            peak.append(len(res.users))
+            yield env.timeout(10)
+            active.remove(i)
+
+    for i in range(5):
+        env.process(worker(i))
+    env.run()
+    assert max(peak) == 2
+    assert active == []
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(i):
+        with res.request() as req:
+            yield req
+            order.append(i)
+            yield env.timeout(1)
+
+    for i in range(4):
+        env.process(worker(i))
+    env.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_resource_capacity_growth_grants_waiters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    started = []
+
+    def worker(i):
+        with res.request() as req:
+            yield req
+            started.append((env.now, i))
+            yield env.timeout(100)
+
+    def grower():
+        yield env.timeout(5)
+        res.capacity = 3
+
+    for i in range(3):
+        env.process(worker(i))
+    env.process(grower())
+    env.run(until=50)
+    assert started == [(0, 0), (5, 1), (5, 2)]
+
+
+def test_resource_shrink_does_not_revoke():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    held = []
+
+    def worker(i):
+        with res.request() as req:
+            yield req
+            held.append(i)
+            yield env.timeout(10)
+
+    env.process(worker(0))
+    env.process(worker(1))
+
+    def shrinker():
+        yield env.timeout(1)
+        res.capacity = 1
+        assert len(res.users) == 2  # both still hold slots
+
+    env.process(shrinker())
+    env.run()
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+    res = Resource(env, capacity=1)
+    with pytest.raises(ValueError):
+        res.capacity = 0
+
+
+def test_release_queued_request_cancels():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    env.process(holder())
+
+    def canceller():
+        yield env.timeout(1)
+        req = res.request()  # queued behind holder
+        req.cancel()
+        assert len(res.queue) == 0
+
+    env.process(canceller())
+
+    def late(i):
+        yield env.timeout(2)
+        with res.request() as req:
+            yield req
+            order.append(i)
+
+    env.process(late("late"))
+    env.run()
+    assert order == ["late"]
+
+
+def test_double_release_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker():
+        req = res.request()
+        yield req
+        req.release()
+        req.release()
+
+    env.process(worker())
+    env.run()
+    assert res.count == 0
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(10)
+
+    def worker(name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder())
+    env.process(worker("low", 5, 1))
+    env.process(worker("high", 1, 2))  # arrives later but higher priority
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_container_put_get():
+    env = Environment()
+    c = Container(env, capacity=100, init=50)
+    log = []
+
+    def getter():
+        yield c.get(70)  # must wait for a put
+        log.append(("got", env.now, c.level))
+
+    def putter():
+        yield env.timeout(3)
+        yield c.put(30)
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert log == [("got", 3, 10)]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    c = Container(env, capacity=10, init=10)
+    log = []
+
+    def putter():
+        yield c.put(5)
+        log.append(env.now)
+
+    def drainer():
+        yield env.timeout(2)
+        yield c.get(6)
+
+    env.process(putter())
+    env.process(drainer())
+    env.run()
+    assert log == [2]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    c = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        c.put(-1)
+    with pytest.raises(ValueError):
+        c.get(-1)
+
+
+def test_store_fifo():
+    env = Environment()
+    s = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield env.timeout(1)
+            yield s.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield s.get()
+            got.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [(1, 0), (2, 1), (3, 2)]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    s = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield s.put("a")
+        yield s.put("b")  # blocks until consumer takes "a"
+        log.append(env.now)
+
+    def consumer():
+        yield env.timeout(5)
+        yield s.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [5]
+    assert list(s.items) == ["b"]
+
+
+def test_store_len():
+    env = Environment()
+    s = Store(env)
+    s.put("x")
+    s.put("y")
+    assert len(s) == 2

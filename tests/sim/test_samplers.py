@@ -1,0 +1,53 @@
+"""Tests for PeriodicSampler and RateMeter."""
+
+import pytest
+
+from repro.sim import Environment, PeriodicSampler, RateMeter
+
+
+def test_rate_meter_deltas():
+    m = RateMeter()
+    m.add()
+    m.add(2)
+    assert m.take_delta() == 3
+    assert m.take_delta() == 0
+    m.add(5)
+    assert m.take_delta() == 5
+    assert m.total == 8
+
+
+def test_sampler_collects_once_per_period():
+    env = Environment()
+    meter = RateMeter()
+
+    def workload():
+        for _ in range(10):
+            yield env.timeout(0.25)
+            meter.add()
+
+    env.process(workload())
+    sampler = PeriodicSampler(env, meter.take_delta, period=1.0)
+    env.run(until=3.0)
+    assert sampler.times == [1.0, 2.0]
+    # 4 ops per second at 0.25s spacing; op at t=1.0 lands after the sample
+    # at t=1.0 depending on ordering — totals must still add up.
+    assert sum(sampler.values) + meter.take_delta() == 10
+
+
+def test_sampler_stop():
+    env = Environment()
+    sampler = PeriodicSampler(env, lambda: 1.0, period=1.0)
+
+    def stopper():
+        yield env.timeout(2.5)
+        sampler.stop()
+
+    env.process(stopper())
+    env.run(until=10)
+    assert sampler.times == [1.0, 2.0]
+
+
+def test_sampler_invalid_period():
+    env = Environment()
+    with pytest.raises(ValueError):
+        PeriodicSampler(env, lambda: 0.0, period=0)
