@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..device.kv_dev import KvDevice
+from ..faults.registry import fault_point
 from ..lsm.db import DbImpl
 from ..sim import Environment
 from ..types import KIND_DELETE
@@ -56,6 +57,8 @@ class KvaccelController:
         latched verdict (refreshed every 0.1 s, paper Section VI-A)."""
         self.last_write_time = self.env.now
         if self.detector.stall_condition and not self.rollback_in_progress:
+            if self.env.faults is not None:
+                yield from fault_point(self.env, "ctl.put.redirect")
             t0 = self.env.now
             triples = []
             for key, value in pairs:
@@ -69,6 +72,8 @@ class KvaccelController:
             self.main.stats.record_write_latency(self.env.now - t0,
                                                  count=len(triples))
         else:
+            if self.env.faults is not None:
+                yield from fault_point(self.env, "ctl.put.normal")
             for key, _value in pairs:
                 if not self.metadata.is_empty and self.metadata.contains(key):
                     self.metadata.remove(key)  # Main-LSM copy becomes newest
@@ -78,11 +83,15 @@ class KvaccelController:
     def delete(self, key: bytes) -> Generator:
         self.last_write_time = self.env.now
         if self.detector.stall_condition and not self.rollback_in_progress:
+            if self.env.faults is not None:
+                yield from fault_point(self.env, "ctl.delete.redirect")
             seq = self.main.next_seq()
             self.metadata.insert(key)  # tombstone lives in Dev-LSM
             yield from self.kv.delete(key, seq)
             self.redirected_writes += 1
         else:
+            if self.env.faults is not None:
+                yield from fault_point(self.env, "ctl.delete.normal")
             if not self.metadata.is_empty and self.metadata.contains(key):
                 self.metadata.remove(key)
             yield from self.main.delete(key)
@@ -92,6 +101,8 @@ class KvaccelController:
     def get(self, key: bytes) -> Generator:
         """Read path steps (1)-(3) of Section V-C."""
         if not self.kv.is_empty and self.metadata.contains(key):
+            if self.env.faults is not None:
+                yield from fault_point(self.env, "ctl.get.dev")
             entry = yield from self.kv.get(key)
             self.dev_reads += 1
             if entry is None:
@@ -101,6 +112,8 @@ class KvaccelController:
             if entry[2] == KIND_DELETE:
                 return None
             return entry[3]
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "ctl.get.main")
         value = yield from self.main.get(key)
         self.main_reads += 1
         return value

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..lsm.db import DbImpl
-from ..sim import Environment
+from ..sim import Environment, Interrupt
 
 __all__ = ["WriteStallDetector", "DetectorConfig"]
 
@@ -62,7 +62,19 @@ class WriteStallDetector:
         return memtable_pressure or l0_pressure or debt_pressure
 
     def stop(self) -> None:
+        """Stop the detector thread.
+
+        Interrupts the in-flight poll wait so the event queue drains right
+        away — otherwise a closed system keeps ticking (and charging check
+        CPU against a closed DB) until the simulation horizon.  Guarded for
+        the cases ``interrupt`` cannot handle: a process that never started
+        (``_target is None``) or stop() called from the detector itself.
+        """
         self._stopped = True
+        proc = self.process
+        if (proc.is_alive and proc._target is not None
+                and proc is not self.env.active_process):
+            proc.interrupt("stopped")
 
     def _latch(self, verdict: bool) -> None:
         if verdict != self.stall_condition:
@@ -73,10 +85,14 @@ class WriteStallDetector:
         self.stall_condition = verdict
 
     def _run(self):
-        while not self._stopped:
-            yield self.env.timeout(self.config.period)
-            if self._stopped:
-                return
-            self.checks += 1
-            self.db.host_cpu.charge(self.config.check_cpu_cost, tag="detector")
-            self._latch(self.evaluate())
+        try:
+            while not self._stopped:
+                yield self.env.timeout(self.config.period)
+                if self._stopped or self.db.closed:
+                    return
+                self.checks += 1
+                self.db.host_cpu.charge(self.config.check_cpu_cost,
+                                        tag="detector")
+                self._latch(self.evaluate())
+        except Interrupt:
+            return

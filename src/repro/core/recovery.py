@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
+from ..faults.registry import fault_point, touch
 from ..types import entry_size
 from .controller import KvaccelController
 
@@ -40,8 +41,12 @@ def recover_after_crash(controller: KvaccelController,
     """
     env = controller.env
     t0 = env.now
+    if env.faults is not None:
+        yield from fault_point(env, "recovery.start")
     controller.metadata.drop()
     scanned = yield from controller.kv.bulk_scan()
+    if env.faults is not None:
+        touch(env, "recovery.scan.done")
     entries = []
     for e in scanned:
         current = yield from controller.main.get_internal(e[0])
@@ -52,8 +57,12 @@ def recover_after_crash(controller: KvaccelController,
         chunk = entries[i:i + merge_batch]
         nbytes += sum(entry_size(e) for e in chunk)
         yield from controller.main.write_entries(chunk)
+        if env.faults is not None:
+            touch(env, "recovery.merge.batch")
     yield from controller.kv.reset()
     controller.metadata.clear()
+    if env.faults is not None:
+        touch(env, "recovery.complete")
     return RecoveryReport(
         entries_recovered=len(entries),
         bytes_recovered=nbytes,

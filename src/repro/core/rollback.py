@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
-from ..sim import Environment
+from ..faults.registry import fault_point, touch
+from ..sim import Environment, Interrupt
 from ..types import entry_size
 from .controller import KvaccelController
 from .detector import WriteStallDetector
@@ -71,7 +72,19 @@ class RollbackManager:
         self.process = env.process(self._run(), name="kvaccel-rollback")
 
     def stop(self) -> None:
+        """Stop the scheduler thread.
+
+        Interrupts the polling process so a closed system drains its event
+        queue immediately instead of ticking until the caller's horizon.
+        A rollback already in flight is left to finish (it holds the
+        controller's redirection lock); only the idle wait is cancelled.
+        """
         self._stopped = True
+        proc = self.process
+        if (proc.is_alive and not self.in_progress
+                and proc._target is not None
+                and proc is not self.env.active_process):
+            proc.interrupt("stopped")
 
     # -- scheduling policy ------------------------------------------------
     def _should_rollback(self) -> bool:
@@ -87,12 +100,15 @@ class RollbackManager:
         return False  # disabled
 
     def _run(self):
-        while not self._stopped:
-            yield self.env.timeout(self.config.period)
-            if self._stopped:
-                return
-            if self._should_rollback():
-                yield from self.rollback_once()
+        try:
+            while not self._stopped:
+                yield self.env.timeout(self.config.period)
+                if self._stopped or self.controller.main.closed:
+                    return
+                if self._should_rollback():
+                    yield from self.rollback_once()
+        except Interrupt:
+            return
 
     # -- the rollback operation ---------------------------------------------
     def rollback_once(self) -> Generator:
@@ -110,17 +126,27 @@ class RollbackManager:
         try:
             t0 = self.env.now
             controller = self.controller
+            if self.env.faults is not None:
+                yield from fault_point(self.env, "rollback.start")
             live_keys = controller.metadata.keys_snapshot()
             entries = yield from controller.kv.bulk_scan()
             entries = [e for e in entries if e[0] in live_keys]
+            if self.env.faults is not None:
+                touch(self.env, "rollback.scan.done")
             nbytes = 0
             batch = self.config.merge_batch
             for i in range(0, len(entries), batch):
                 chunk = entries[i:i + batch]
                 nbytes += sum(entry_size(e) for e in chunk)
                 yield from controller.main.write_entries(chunk)
+                if self.env.faults is not None:
+                    touch(self.env, "rollback.merge.batch")
             controller.metadata.clear()
+            if self.env.faults is not None:
+                touch(self.env, "rollback.metadata.cleared")
             yield from controller.kv.reset()
+            if self.env.faults is not None:
+                touch(self.env, "rollback.complete")
             self.records.append(RollbackRecord(
                 start=t0, end=self.env.now, entries=len(entries), bytes=nbytes))
         finally:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Iterable, Optional
 
+from ..faults.registry import fault_point, touch
 from ..sim import Environment
 from ..types import KIND_PUT, Entry, entry_size
 from .cpu import CpuModel
@@ -172,6 +173,8 @@ class DevLsm:
             self._memtable_bytes -= entry_size(old)
         self._memtable[key] = entry
         self._memtable_bytes += entry_size(entry)
+        if self.env.faults is not None:
+            touch(self.env, "devlsm.put.applied")
         if self._memtable_bytes >= cfg.memtable_bytes:
             yield from self._flush()
         return None
@@ -180,10 +183,16 @@ class DevLsm:
         """Flush the device memtable as one sorted run into KV NAND."""
         if not self._memtable:
             return
-        entries = sorted(self._memtable.values(), key=_sort_key)
-        nbytes = self._memtable_bytes
-        self._memtable = {}
-        self._memtable_bytes = 0
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "devlsm.flush.start")
+        # Snapshot, don't swap: the memtable must stay intact until the run
+        # is installed.  The flush runs on the calling host process, so a
+        # host crash interrupts it mid-I/O — but the device itself did not
+        # lose power, and its DRAM must not forget entries a half-finished
+        # flush had merely staged.
+        snapshot = list(self._memtable.items())
+        entries = sorted((e for _k, e in snapshot), key=_sort_key)
+        nbytes = sum(entry_size(e) for e in entries)
         run = Run(entries=entries, smallest=entries[0][0],
                   largest=entries[-1][0], nbytes=nbytes)
         # Map pages in the KV region and charge NAND program + ARM copy.
@@ -193,8 +202,16 @@ class DevLsm:
         yield from self.arm.consume(nbytes * self.config.arm_byte_cost,
                                     tag="devlsm.flush")
         yield from self.nand.io("program", nbytes)
+        # Commit point: install the run, then retire exactly the flushed
+        # entries (a concurrent put may have replaced one mid-flush).
         self.runs.insert(0, run)
+        for key, entry in snapshot:
+            if self._memtable.get(key) is entry:
+                del self._memtable[key]
+                self._memtable_bytes -= entry_size(entry)
         self.flush_count += 1
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "devlsm.flush.complete")
         if (self.config.compaction_enabled
                 and len(self.runs) >= self.config.compaction_trigger_runs):
             yield from self._compact()
@@ -230,6 +247,8 @@ class DevLsm:
         cache (Table V's explanation).
         """
         cfg = self.config
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "devlsm.get")
         self.arm.charge(cfg.arm_op_cost, tag="devlsm.get")
         hit = self._memtable.get(key)
         if hit is not None:
@@ -314,6 +333,8 @@ class DevLsm:
     # -- reset / recovery ----------------------------------------------------
     def reset(self) -> None:
         """Drop all state and trim the KV region (post-rollback step 8)."""
+        if self.env.faults is not None:
+            touch(self.env, "devlsm.reset")
         self._memtable = {}
         self._memtable_bytes = 0
         self.runs = []

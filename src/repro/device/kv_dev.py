@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..faults.registry import DROP, DUPLICATE, fault_point
 from ..sim import Environment
 from ..types import KIND_DELETE, KIND_PUT, Entry, entry_size, make_entry, value_size
 from .cpu import CpuModel
@@ -49,19 +50,41 @@ class KvDevice:
         self.host_cpu = host_cpu
         self.config = config or KvDeviceConfig()
         self.command_counts: dict[str, int] = {}
+        # Fault-injection accounting: commands dropped on the wire and
+        # compound commands executed twice by the device.
+        self.lost_commands = 0
+        self.duplicated_commands = 0
 
     def _count(self, verb: str) -> None:
         self.command_counts[verb] = self.command_counts.get(verb, 0) + 1
         self.host_cpu.charge(self.config.host_submit_cost, tag="nvme_kv")
 
+    def _submit(self, site: str) -> Generator:
+        """Probe the per-verb submission fault site; returns the fired
+        action so the verb can honor DROP/DUPLICATE semantics."""
+        if self.env.faults is None:
+            return None
+        action = yield from fault_point(self.env, site)
+        return action
+
     # -- point commands -----------------------------------------------------
     def put(self, key: bytes, seq: int, value) -> Generator:
         """KV PUT: ship key+value over PCIe, insert into Dev-LSM."""
         self._count("put")
+        action = yield from self._submit("kv.put.submit")
+        if action is not None and action.kind == DROP:
+            self.lost_commands += 1        # command lost on the wire
+            return
         payload = _CAPSULE_BYTES + len(key) + value_size(value)
         yield from self.pcie.transfer(payload)
         entry = make_entry(key, seq, value, kind=KIND_PUT)
-        yield from self.devlsm.put(entry)
+        for _ in range(2 if action is not None
+                       and action.kind == DUPLICATE else 1):
+            yield from self.devlsm.put(entry)
+        if action is not None and action.kind == DUPLICATE:
+            self.duplicated_commands += 1
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "kv.put.complete")
 
     def put_batch(self, triples: list) -> Generator:
         """Batched KV PUT via a compound command (HotStorage '19 style).
@@ -71,23 +94,44 @@ class KvDevice:
         record (per-op ARM cost, flush when the device memtable fills).
         """
         self._count("put_batch")
+        action = yield from self._submit("kv.put_batch.submit")
+        if action is not None and action.kind == DROP:
+            self.lost_commands += 1        # whole compound command lost
+            return
         payload = _CAPSULE_BYTES + sum(
             len(k) + value_size(v) for k, _s, v in triples)
         yield from self.pcie.transfer(payload)
-        for key, seq, value in triples:
-            entry = make_entry(key, seq, value, kind=KIND_PUT)
-            yield from self.devlsm.put(entry)
+        duplicate = action is not None and action.kind == DUPLICATE
+        for _ in range(2 if duplicate else 1):
+            for key, seq, value in triples:
+                entry = make_entry(key, seq, value, kind=KIND_PUT)
+                yield from self.devlsm.put(entry)
+        if duplicate:
+            self.duplicated_commands += 1
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "kv.put_batch.complete")
 
     def delete(self, key: bytes, seq: int) -> Generator:
         """KV DELETE: a tombstone entry in the Dev-LSM."""
         self._count("delete")
+        action = yield from self._submit("kv.delete.submit")
+        if action is not None and action.kind == DROP:
+            self.lost_commands += 1
+            return
         yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
         entry = make_entry(key, seq, None, kind=KIND_DELETE)
-        yield from self.devlsm.put(entry)
+        for _ in range(2 if action is not None
+                       and action.kind == DUPLICATE else 1):
+            yield from self.devlsm.put(entry)
+        if action is not None and action.kind == DUPLICATE:
+            self.duplicated_commands += 1
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "kv.delete.complete")
 
     def get(self, key: bytes) -> Generator:
         """KV GET: returns the newest entry or None."""
         self._count("get")
+        yield from self._submit("kv.get.submit")
         yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
         entry = yield from self.devlsm.get(key)
         if entry is not None:
@@ -133,15 +177,21 @@ class KvDevice:
     def bulk_scan(self) -> Generator:
         """Bulky range scan of the whole Dev-LSM (rollback step 3-6)."""
         self._count("bulk_scan")
+        yield from self._submit("kv.bulk_scan.start")
         yield from self.pcie.transfer(_CAPSULE_BYTES)
         entries = yield from self.devlsm.bulk_scan(self.pcie)
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "kv.bulk_scan.complete")
         return entries
 
     def reset(self) -> Generator:
         """Reset the Dev-LSM (rollback step 8)."""
         self._count("reset")
+        yield from self._submit("kv.reset.start")
         yield from self.pcie.transfer(_CAPSULE_BYTES)
         self.devlsm.reset()
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "kv.reset.complete")
         return None
 
     # -- introspection ----------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..faults.registry import fault_point
 from ..sim import Environment, PriorityResource, Resource
 from .geometry import MiB, NandGeometry
 from .pcie import TrafficLedger
@@ -80,6 +81,9 @@ class NandArray:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        if self.env.faults is not None:
+            # Fault sites: nand.read / nand.program / nand.erase.
+            yield from fault_point(self.env, f"nand.{op}")
         dt = self.service_time(op, nbytes)
         if self._res.capacity > 1 and op != "erase":
             lat = {"read": self._lat_read, "program": self._lat_program}[op]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Generator, Optional
 
+from ..faults.registry import fault_point
 from ..sim import Environment, Resource
 
 __all__ = ["TrafficLedger", "BandwidthPipe", "PcieLink"]
@@ -116,6 +117,9 @@ class BandwidthPipe:
         """Move ``nbytes`` through the pipe (blocking process generator)."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        if self.env.faults is not None:
+            # Fault site: e.g. "pcie.transfer" (modeled transfer drop/delay).
+            yield from fault_point(self.env, f"{self.name}.transfer")
         with self._res.request() as req:
             yield req
             t0 = self.env.now

@@ -1,0 +1,323 @@
+"""Crash-consistency harness: one KVACCEL stack + workload + oracle.
+
+The harness owns everything a crash-point run needs:
+
+* a deterministic small KVACCEL system (fresh per run, seeded);
+* a scripted workload that exercises every layer — normal writes through
+  flush and compaction, a forced stall window with redirected writes and
+  Dev-LSM flushes, reads over both interfaces, deletes, a scripted
+  rollback, and a post-rollback phase;
+* a :class:`~repro.faults.oracle.DifferentialOracle` shadowing every
+  acknowledged operation;
+* the crash choreography: run the workload until the armed fault site
+  fires, interrupt the in-flight op, run recovery
+  (:func:`~repro.core.recovery.recover_after_crash` via ``db.recover()``),
+  then verify the oracle's invariants against the recovered store.
+
+Crash model ("metadata crash", paper Section VI-D): the KVACCEL host
+module dies — the volatile metadata table is lost and the in-flight
+operation is abandoned — while Main-LSM memory state and the device
+survive.  Full host power loss (WAL tail loss, torn SSTs) is exercised
+separately by ``DbImpl.crash_and_recover`` and its property tests; see
+MODEL.md for the modeled-vs-out-of-scope matrix.
+
+Determinism: the stack, workload and fault schedule derive from one seed,
+so any failure reproduces from the seed printed in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..core import DetectorConfig, KvaccelDb
+from ..device import (
+    CpuModel,
+    DevLsmConfig,
+    HybridSsd,
+    HybridSsdConfig,
+    KiB,
+    MiB,
+    NandGeometry,
+)
+from ..lsm import LsmOptions
+from ..sim import Environment, Interrupt
+from ..types import encode_key
+from .oracle import DifferentialOracle, Violation
+from .plan import NthOccurrencePlan
+from .registry import CRASH, DEFAULT_SEED, FaultAction, FaultRegistry, SiteHit
+
+__all__ = [
+    "KvaccelFaultHarness",
+    "CrashReport",
+    "PRE_PERSIST_SITES",
+    "broken_recovery_skip_drain",
+    "broken_recovery_skip_reset",
+]
+
+# Sites hit strictly before any device-visible mutation of the op that
+# reaches them first: a crash there must leave the in-flight op invisible.
+PRE_PERSIST_SITES = frozenset({
+    "ctl.put.redirect",
+    "ctl.put.normal",
+    "ctl.delete.redirect",
+    "ctl.delete.normal",
+    "db.write.gate",
+    "wal.append",
+})
+
+
+def _pre_persist(site: str) -> bool:
+    return site in PRE_PERSIST_SITES or site.endswith(".submit")
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one crash-at-site run."""
+
+    site: str
+    occurrence: int
+    crashed: bool
+    violations: list = field(default_factory=list)
+    recovery: Optional[object] = None      # RecoveryReport when crashed
+    sim_time: float = 0.0
+    seed: int = DEFAULT_SEED
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.violations
+
+    def describe(self) -> str:
+        status = ("no-crash" if not self.crashed
+                  else "ok" if self.ok else "FAIL")
+        extra = ""
+        if self.violations:
+            extra = " " + "; ".join(v.describe() for v in self.violations[:3])
+        if self.error:
+            extra += f" error={self.error}"
+        return (f"[{status}] {self.site}#{self.occurrence} "
+                f"(seed={self.seed:#x}){extra}")
+
+
+@dataclass
+class _Run:
+    env: Environment
+    registry: FaultRegistry
+    db: KvaccelDb
+    oracle: DifferentialOracle
+
+
+# -- deliberately broken recovery variants (harness self-tests) -----------
+def broken_recovery_skip_drain(db: KvaccelDb) -> Generator:
+    """A recovery that forgets to drain the Dev-LSM back into Main-LSM:
+    it resets the device buffer without merging.  Every acked redirected
+    write still parked in the Dev-LSM is silently lost — the harness must
+    flag this as a durability violation."""
+    db.controller.metadata.drop()
+    yield from db.controller.kv.reset()
+    return None
+
+
+def broken_recovery_skip_reset(db: KvaccelDb) -> Generator:
+    """A recovery that merges but forgets step 8 (Dev-LSM reset): the
+    two LSMs' metadata disagree afterwards — Dev-LSM still holds entries
+    while the rebuilt metadata table says it holds none."""
+    from ..types import entry_size
+
+    controller = db.controller
+    controller.metadata.drop()
+    scanned = yield from controller.kv.bulk_scan()
+    merge = []
+    for e in scanned:
+        current = yield from controller.main.get_internal(e[0])
+        if current is None or e[1] > current[1]:
+            merge.append(e)
+    if merge:
+        yield from controller.main.write_entries(merge)
+    controller.metadata.clear()
+    return None
+
+
+class KvaccelFaultHarness:
+    """Builds fresh seeded systems and runs trace / crash-at-site passes."""
+
+    def __init__(self, seed: int = DEFAULT_SEED, scale: int = 1,
+                 recovery: Optional[Callable[[KvaccelDb], Generator]] = None):
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        self.seed = seed
+        self.scale = scale
+        self._recovery = recovery   # None = the real db.recover()
+
+    # -- system construction ----------------------------------------------
+    def _build(self, record_trace: bool = False) -> _Run:
+        env = Environment()
+        registry = FaultRegistry(self.seed).install(env)
+        registry.record_trace = record_trace
+        cpu = CpuModel(env, cores=8, name="host")
+        geometry = NandGeometry(channels=2, ways=4, blocks_per_way=256,
+                                pages_per_block=32, page_size=4096)
+        ssd = HybridSsd(env, cpu, HybridSsdConfig(
+            geometry=geometry,
+            peak_nand_bandwidth=200 * MiB,
+            pcie_bandwidth=1024 * MiB,
+            devlsm=DevLsmConfig(memtable_bytes=8 * KiB),
+        ))
+        options = LsmOptions(
+            write_buffer_size=16 * KiB,
+            level0_file_num_compaction_trigger=2,
+            level0_slowdown_writes_trigger=6,
+            level0_stop_writes_trigger=10,
+            max_bytes_for_level_base=64 * KiB,
+            max_bytes_for_level_multiplier=4,
+            target_file_size_base=16 * KiB,
+            soft_pending_compaction_bytes_limit=256 * KiB,
+            hard_pending_compaction_bytes_limit=1 * MiB,
+            compaction_io_chunk=16 * KiB,
+            wal_group_commit_bytes=4 * KiB,
+            block_size=4 * KiB,
+        )
+        db = KvaccelDb(env, options, ssd, cpu, rollback="disabled",
+                       detector_config=DetectorConfig(period=0.002))
+        # The workload scripts stall windows itself (deterministic site
+        # sequence); the polling daemons would only add timer noise.
+        db.detector.stop()
+        db.rollback_manager.stop()
+        return _Run(env, registry, db,
+                    DifferentialOracle(seed=self.seed))
+
+    # -- oracle-wrapped operations ------------------------------------------
+    @staticmethod
+    def _put(run: _Run, key: bytes, value: bytes) -> Generator:
+        run.oracle.begin_put(key, value)
+        yield from run.db.put(key, value)
+        run.oracle.ack()
+
+    @staticmethod
+    def _delete(run: _Run, key: bytes) -> Generator:
+        run.oracle.begin_delete(key)
+        yield from run.db.delete(key)
+        run.oracle.ack()
+
+    @staticmethod
+    def _get(run: _Run, key: bytes) -> Generator:
+        got = yield from run.db.get(key)
+        run.oracle.check_read(key, got)
+
+    @staticmethod
+    def _scan(run: _Run, start: bytes, count: int) -> Generator:
+        rows = yield from run.db.scan(start, count)
+        run.oracle.check_scan(start, rows, count)
+
+    # -- the scripted workload ----------------------------------------------
+    @staticmethod
+    def _value(phase: bytes, i: int) -> bytes:
+        return (b"%s:%06d;" % (phase, i)) * 40    # ~400 B per value
+
+    def _workload(self, run: _Run) -> Generator:
+        """Deterministic mixed workload touching every layer's sites."""
+        s = self.scale
+        db = run.db
+        # Phase 1 — normal writes: flushes, WAL groups, compactions.
+        for i in range(120 * s):
+            yield from self._put(run, encode_key(i % 48), self._value(b"a", i))
+        for k in (3, 9, 15):
+            yield from self._delete(run, encode_key(k))
+        for k in (0, 7, 21, 35, 47, 3):
+            yield from self._get(run, encode_key(k))
+        yield from self._scan(run, encode_key(10), 8)
+
+        # Phase 2 — forced stall window: redirected writes + Dev-LSM reads.
+        db.detector.stall_condition = True
+        for i in range(40 * s):
+            yield from self._put(run, encode_key(20 + (i % 30)),
+                                 self._value(b"b", i))
+        for k in (22, 31):
+            yield from self._delete(run, encode_key(k))
+        for k in (20, 25, 31, 49):
+            yield from self._get(run, encode_key(k))
+
+        # Phase 3 — stall clears; scripted rollback drains the Dev-LSM.
+        db.detector.stall_condition = False
+        yield from db.rollback_manager.rollback_once()
+        for k in (20, 31, 45):
+            yield from self._get(run, encode_key(k))
+
+        # Phase 4 — post-rollback writes land normally again.
+        for i in range(30 * s):
+            yield from self._put(run, encode_key(30 + (i % 25)),
+                                 self._value(b"c", i))
+        yield from self._scan(run, encode_key(0), 16)
+        for k in (30, 40, 54):
+            yield from self._get(run, encode_key(k))
+
+    def _driver(self, run: _Run) -> Generator:
+        try:
+            yield from self._workload(run)
+        except Interrupt:
+            return   # crash: abandon the in-flight op mid-yield
+
+    # -- passes --------------------------------------------------------------
+    def trace(self) -> list[SiteHit]:
+        """Fault-free pass recording the ordered site-hit trace."""
+        run = self._build(record_trace=True)
+        run.env.run(until=run.env.process(self._driver(run)))
+        run.db.close()
+        return run.registry.trace
+
+    def run_clean(self) -> _Run:
+        """Fault-free pass returning the full run (tests poke at it)."""
+        run = self._build()
+        run.env.run(until=run.env.process(self._driver(run)))
+        return run
+
+    def crash_at(self, site: str, occurrence: int = 1) -> CrashReport:
+        """Re-run the workload, crash at the given site hit, recover, and
+        check the oracle's crash-consistency invariants."""
+        run = self._build()
+        run.registry.arm(site, NthOccurrencePlan(occurrence),
+                         FaultAction(CRASH))
+        crash_ev = run.registry.new_crash_event(run.env)
+        proc = run.env.process(self._driver(run))
+        report = CrashReport(site=site, occurrence=occurrence,
+                             crashed=False, seed=self.seed)
+        try:
+            run.env.run(until=run.env.any_of([proc, crash_ev]))
+            if run.registry.crashed_at is None:
+                # Workload finished without reaching the armed hit.
+                run.db.close()
+                report.sim_time = run.env.now
+                return report
+            report.crashed = True
+            if proc.is_alive and proc._target is not None:
+                proc.interrupt("crash")
+                run.env.run(until=proc)
+            run.registry.clear_arms()
+
+            # -- recovery ------------------------------------------------
+            recovery = self._recovery or (lambda db: db.recover())
+            report.recovery = run.env.run(
+                until=run.env.process(recovery(run.db)))
+            run.env.run(until=run.env.process(run.db.wait_for_quiesce()))
+
+            # -- invariants ------------------------------------------------
+            violations: list[Violation] = run.env.run(
+                until=run.env.process(run.oracle.verify(
+                    run.db, allow_inflight=not _pre_persist(site))))
+            # Dev-LSM and Main-LSM metadata must agree post-recovery: the
+            # rebuilt (empty) table says no key is device-resident, so the
+            # Dev-LSM must be empty too.
+            if len(run.db.metadata) != 0 or not run.db.ssd.kv.is_empty:
+                violations.append(Violation(
+                    key=b"", got=None, allowed=(),
+                    kind="metadata-disagreement"))
+            report.violations = violations
+            report.sim_time = run.env.now
+        except AssertionError as exc:
+            report.error = f"assertion: {exc}"
+        except Exception as exc:   # surface per-run, keep the sweep going
+            report.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            run.db.close()
+        return report

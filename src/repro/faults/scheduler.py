@@ -1,0 +1,132 @@
+"""Crash-point scheduler: enumerate injection sites, crash at each one.
+
+The sweep is a two-pass protocol over a :class:`KvaccelFaultHarness`:
+
+1. **Trace pass** — run the workload fault-free with trace recording on;
+   the registry's ordered :class:`~repro.faults.registry.SiteHit` list is
+   the universe of reachable crash points for that workload.
+2. **Crash passes** — for each distinct site (first-reached order, first
+   occurrence), rebuild the system from the same seed, arm a CRASH at
+   exactly that hit, run, recover, and check the oracle invariants.
+
+Because the simulation is deterministic, the crash run retraces the trace
+run's site sequence bit-for-bit up to the armed hit, so "the k-th hit of
+site S" names the same program state in both passes.
+
+``budget`` bounds the number of crash runs (CI uses it); skipped sites
+are reported, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .harness import CrashReport, KvaccelFaultHarness
+from .registry import SiteHit
+
+__all__ = ["SweepReport", "sweep_crash_points"]
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of one crash-point sweep."""
+
+    seed: int
+    trace_hits: int                    # total site hits in the trace pass
+    sites_traced: int                  # distinct sites in the trace pass
+    skipped_for_budget: int
+    reports: list = field(default_factory=list)
+
+    @property
+    def crash_runs(self) -> int:
+        return len(self.reports)
+
+    @property
+    def crashed(self) -> list:
+        return [r for r in self.reports if r.crashed]
+
+    @property
+    def failed(self) -> list:
+        return [r for r in self.reports if not r.ok]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.reports if r.crashed and r.ok)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"crash-point sweep: seed={self.seed:#x}",
+            f"  trace: {self.trace_hits} hits over {self.sites_traced} "
+            f"distinct sites",
+            f"  crash runs: {self.crash_runs} "
+            f"({len(self.crashed)} crashed, {self.passed} passed, "
+            f"{len(self.failed)} failed, "
+            f"{self.skipped_for_budget} skipped for budget)",
+        ]
+        for r in self.failed:
+            lines.append("  " + r.describe())
+        return lines
+
+    def to_markdown(self) -> str:
+        """Render for CI job summaries."""
+        out = [
+            "## Crash-point sweep",
+            "",
+            f"- seed: `{self.seed:#x}`",
+            f"- trace: **{self.trace_hits}** hits over "
+            f"**{self.sites_traced}** distinct injection sites",
+            f"- crash runs: **{self.crash_runs}** · passed: "
+            f"**{self.passed}** · failed: **{len(self.failed)}** · "
+            f"skipped (budget): **{self.skipped_for_budget}**",
+            "",
+            "| site | occurrence | crashed | result |",
+            "|---|---|---|---|",
+        ]
+        for r in self.reports:
+            result = ("PASS" if r.ok and r.crashed
+                      else "no-crash" if not r.crashed
+                      else "**FAIL** " + "; ".join(
+                          v.describe() for v in r.violations[:2])
+                      + (f" {r.error}" if r.error else ""))
+            out.append(f"| `{r.site}` | {r.occurrence} | "
+                       f"{'yes' if r.crashed else 'no'} | {result} |")
+        return "\n".join(out) + "\n"
+
+
+def sweep_crash_points(harness: KvaccelFaultHarness,
+                       budget: Optional[int] = None,
+                       site_filter: Optional[str] = None) -> SweepReport:
+    """Run the full two-pass sweep over ``harness``'s workload.
+
+    ``budget`` caps crash runs (first-reached sites win); ``site_filter``
+    restricts to sites containing the substring (debugging aid).
+    """
+    trace = harness.trace()
+    chosen: list[SiteHit] = []
+    seen: set[str] = set()
+    for hit in trace:
+        if hit.site in seen:
+            continue
+        seen.add(hit.site)
+        chosen.append(hit)
+    if site_filter:
+        chosen = [h for h in chosen if site_filter in h.site]
+    skipped = 0
+    if budget is not None and len(chosen) > budget:
+        skipped = len(chosen) - budget
+        chosen = chosen[:budget]
+    reports: list[CrashReport] = [
+        harness.crash_at(hit.site, hit.occurrence) for hit in chosen
+    ]
+    return SweepReport(
+        seed=harness.seed,
+        trace_hits=len(trace),
+        sites_traced=len(seen),
+        skipped_for_budget=skipped,
+        reports=reports,
+    )

@@ -19,6 +19,7 @@ from typing import Generator, Iterable, Optional
 
 from ..device.block_dev import BlockDevice
 from ..device.cpu import CpuModel
+from ..faults.registry import fault_point, touch
 from ..sim import Environment, Event, Interrupt, Store
 from ..types import KIND_DELETE, KIND_PUT, Entry, entry_size, make_entry, value_size
 from .compaction import CompactionJob, CompactionPicker, merge_for_compaction, split_into_files
@@ -122,6 +123,10 @@ class DbImpl:
                 self.mem.approximate_bytes >= self.options.write_buffer_size)
 
     @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
     def l0_count(self) -> int:
         return self.versions.current.l0_count
 
@@ -198,6 +203,9 @@ class DbImpl:
             raise self.background_error
         opt = self.options
         nbytes = sum(entry_size(e) for e in entries)
+        if self.env.faults is not None:
+            # Pre-persistence: the batch exists only in the caller's hands.
+            yield from fault_point(self.env, "db.write.gate")
         yield from self.write_controller.gate(nbytes)
         yield from self.host_cpu.consume(opt.cpu.put * len(entries),
                                          tag=f"{self.name}.write")
@@ -205,6 +213,8 @@ class DbImpl:
             yield from self.wal.append(nbytes, records=entries)
         for e in entries:
             self.mem.add(e)
+        if self.env.faults is not None:
+            touch(self.env, "db.write.applied")
         self.stats.user_writes += len(entries)
         self.stats.user_write_bytes += nbytes
         if self.mem.approximate_bytes >= opt.write_buffer_size:
@@ -238,6 +248,8 @@ class DbImpl:
         sealed = self.mem
         self.mem = self._memtable_factory()
         self.imm.append((sealed, segment))
+        if self.env.faults is not None:
+            touch(self.env, "db.memtable.seal")
         self.write_controller.refresh()
         yield self._flush_queue.put((sealed, segment))
 
@@ -263,6 +275,8 @@ class DbImpl:
 
     def _flush_one(self, mem: MemTable, segment) -> Generator:
         opt = self.options
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "db.flush.start")
         entries = mem.entries()
         if entries:
             nbytes = sum(entry_size(e) for e in entries)
@@ -282,6 +296,8 @@ class DbImpl:
             edit = VersionEdit(added=[meta], reason="flush")
             yield from self.versions.log_and_apply(edit)
             self._inflight_flush_file = None
+            if self.env.faults is not None:
+                touch(self.env, "db.flush.install")
             self.stats.flush_bytes_written += table.file_bytes
         # Retire the memtable + its WAL segment even if it was empty.
         self.imm = [(m, s) for (m, s) in self.imm if m is not mem]
@@ -346,6 +362,8 @@ class DbImpl:
         merging leave the link idle until the write burst.
         """
         opt = self.options
+        if self.env.faults is not None:
+            yield from fault_point(self.env, "db.compact.start")
         merged = merge_for_compaction(job, opt.num_levels)
         output_groups = split_into_files(merged, opt.target_file_size_base)
 
@@ -409,6 +427,8 @@ class DbImpl:
         )
         yield from self.versions.log_and_apply(edit)
         job.partial_outputs = []
+        if self.env.faults is not None:
+            touch(self.env, "db.compact.install")
         for meta in job.all_inputs:
             self.fs.delete(self._sst_name(meta.number))
         self.stats.compactions += 1

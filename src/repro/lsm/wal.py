@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..faults.registry import fault_point, touch
 from .fs import FileSystem, SimFile
 
 __all__ = ["Wal"]
@@ -56,6 +57,9 @@ class Wal:
         Any buffered tail belongs to the *old* segment and must have been
         flushed by the caller (`sync`) before switching.
         """
+        env = self.fs.device.env
+        if env.faults is not None:
+            touch(env, "wal.segment.switch")
         self._segment_seq += 1
         name = f"{self.name_prefix}.{self._segment_seq:06d}"
         self._segment = self.fs.create(name)
@@ -75,6 +79,10 @@ class Wal:
             self.new_segment()
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        env = self.fs.device.env
+        if env.faults is not None:
+            # Pre-persistence: nothing of this record is buffered yet.
+            yield from fault_point(env, "wal.append")
         self._buffer += nbytes
         self.appended_bytes += nbytes
         if records:
@@ -92,8 +100,15 @@ class Wal:
         records, self._buffered_records = self._buffered_records, []
         self.flush_count += 1
         self.durable_bytes += nbytes
+        env = self.fs.device.env
+        if env.faults is not None:
+            # Between buffer hand-off and media write: a crash here tears
+            # the whole commit group (none of its records become durable).
+            yield from fault_point(env, "wal.flush.start")
         yield from self.fs.append(self._segment, nbytes)
         self._journals[self._segment.name].extend(records)
+        if env.faults is not None:
+            yield from fault_point(env, "wal.flush.complete")
 
     def retire_segment(self, segment: SimFile) -> None:
         """Delete an old segment once its memtable reached an SST."""

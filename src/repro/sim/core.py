@@ -315,6 +315,9 @@ class Environment:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Optional repro.faults.FaultRegistry; fault probes throughout the
+        # stack check this slot and are no-ops while it is None.
+        self.faults = None
 
     @property
     def now(self) -> float:

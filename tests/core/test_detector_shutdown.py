@@ -1,0 +1,94 @@
+"""Regression tests: detector/rollback daemons terminate cleanly on close.
+
+Before the fix, WriteStallDetector.stop() only set a flag: the polling
+process stayed parked on its period timeout, so a closed system kept one
+live timer (and kept charging check CPU against a closed DB) until the
+caller's run horizon — and a db closed *without* stop() polled forever.
+"""
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from helpers import run, small_db, small_kvaccel  # noqa: E402
+
+from repro.core import DetectorConfig, WriteStallDetector  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.types import encode_key  # noqa: E402
+
+VALUE = b"v" * 200
+
+
+def test_stop_interrupts_the_poll_wait_immediately():
+    env = Environment()
+    db, dev, cpu = small_db(env)
+    det = WriteStallDetector(env, db, DetectorConfig(period=0.5))
+    env.run(until=0.6)             # let at least one poll happen
+    assert det.checks >= 1
+    det.stop()
+    env.run()                      # must drain without reaching the next poll
+    assert math.isinf(env.peek())
+    assert not det.process.is_alive
+    db.close()
+    env.run()
+
+
+def test_stop_before_first_poll_is_safe():
+    env = Environment()
+    db, dev, cpu = small_db(env)
+    det = WriteStallDetector(env, db, DetectorConfig(period=0.5))
+    det.stop()                     # process has not even started yet
+    env.run()
+    assert det.checks == 0
+    assert not det.process.is_alive
+    det.stop()                     # idempotent on a dead process
+    db.close()
+    env.run()
+
+
+def test_detector_terminates_when_db_closed_without_stop():
+    env = Environment()
+    db, dev, cpu = small_db(env)
+    det = WriteStallDetector(env, db, DetectorConfig(period=0.01))
+
+    def driver():
+        for i in range(20):
+            yield from db.put(encode_key(i), VALUE)
+
+    run(env, driver())
+    db.close()
+    env.run()                      # detector notices db.closed and exits
+    assert math.isinf(env.peek())
+    assert not det.process.is_alive
+    checks_at_close = det.checks
+    env.run(until=env.now + 10.0)
+    assert det.checks == checks_at_close
+
+
+def test_kvaccel_close_mid_simulation_drains_event_queue():
+    env = Environment()
+    db, ssd, cpu = small_kvaccel(env, detector_period=0.01)
+
+    def driver():
+        for i in range(30):
+            yield from db.put(encode_key(i), VALUE)
+        db.close()                 # stop() called from inside a process
+
+    run(env, driver())
+    env.run()
+    assert math.isinf(env.peek())
+    assert not db.detector.process.is_alive
+    assert not db.rollback_manager.process.is_alive
+
+
+def test_stall_condition_latch_survives_stop():
+    env = Environment()
+    db, ssd, cpu = small_kvaccel(env)
+    db.detector.stop()
+    db.rollback_manager.stop()
+    db.detector.stall_condition = True     # manual control for tests
+    env.run()
+    assert db.detector.stall_condition
+    db.close()

@@ -1,0 +1,179 @@
+"""The differential oracle, plus a hypothesis model-based fault test."""
+
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from helpers import make_faulty_system, run  # noqa: E402
+
+from repro.faults import DifferentialOracle, Violation  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.types import encode_key  # noqa: E402
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class FakeDb:
+    """Minimal generator-protocol store for driving oracle.verify()."""
+
+    def __init__(self, data):
+        self.data = data
+
+    def get(self, key):
+        if False:
+            yield  # pragma: no cover - makes this a generator
+        return self.data.get(key)
+
+
+def _drain(gen):
+    """Drive a never-yielding generator to its return value."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("generator yielded unexpectedly")
+
+
+def test_oracle_tracks_committed_and_inflight():
+    o = DifferentialOracle(seed=1)
+    o.begin_put(b"k", b"v1")
+    assert o.inflight == {b"k": b"v1"}
+    o.ack()
+    assert o.committed == {b"k": b"v1"}
+    o.begin_delete(b"k")
+    o.ack()
+    assert o.committed == {b"k": None}
+    assert o.history[b"k"] == {b"v1", None}
+    with pytest.raises(RuntimeError):
+        o.ack()                      # nothing in flight
+    o.begin_put(b"k", b"v2")
+    with pytest.raises(RuntimeError):
+        o.begin_put(b"k", b"v3")     # previous op never acked
+    o.abort()
+    assert o.inflight is None
+    assert o.committed[b"k"] is None
+
+
+def test_oracle_expected_respects_inflight_gate():
+    o = DifferentialOracle()
+    o.begin_put(b"k", b"v1")
+    o.ack()
+    o.begin_put(b"k", b"v2")          # crash leaves this in flight
+    assert o.expected(b"k", allow_inflight=False) == (b"v1",)
+    assert o.expected(b"k", allow_inflight=True) == (b"v1", b"v2")
+
+
+def test_oracle_check_read_embeds_seed():
+    o = DifferentialOracle(seed=0xBEEF)
+    o.begin_put(b"k", b"v")
+    o.ack()
+    o.check_read(b"k", b"v")          # matches: no raise
+    with pytest.raises(AssertionError) as exc:
+        o.check_read(b"k", b"wrong")
+    assert "0xbeef" in str(exc.value)
+
+
+def test_oracle_check_scan():
+    o = DifferentialOracle()
+    for k, v in ((b"a", b"1"), (b"b", b"2"), (b"c", b"3")):
+        o.begin_put(k, v)
+        o.ack()
+    o.begin_delete(b"b")
+    o.ack()
+    o.check_scan(b"a", [(b"a", b"1"), (b"c", b"3")], 5)
+    with pytest.raises(AssertionError):
+        o.check_scan(b"a", [(b"a", b"1"), (b"b", b"2")], 5)
+
+
+def test_oracle_verify_flags_durability_and_phantom():
+    o = DifferentialOracle()
+    o.begin_put(b"a", b"v1")
+    o.ack()
+    o.begin_put(b"b", b"v2")          # in flight at "crash"
+
+    # Lost acked write -> durability violation; visible in-flight write at
+    # a pre-persistence site -> phantom.
+    out = _drain(o.verify(FakeDb({b"a": None, b"b": b"v2"}),
+                          allow_inflight=False))
+    kinds = {(v.key, v.kind) for v in out}
+    assert (b"a", "durability") in kinds
+    assert (b"b", "phantom") in kinds
+
+    # Same store checked post-persistence: the in-flight value is legal,
+    # but the lost acked write still is not.
+    out = _drain(o.verify(FakeDb({b"a": b"v1", b"b": b"v2"}),
+                          allow_inflight=True))
+    assert out == []
+
+
+def test_violation_describe_mentions_key_and_kind():
+    v = Violation(key=b"k", got=b"x", allowed=(b"y",), kind="durability")
+    assert "durability" in v.describe()
+    assert "b'k'" in v.describe()
+
+
+# -- model-based property test ---------------------------------------------
+_KEYS = st.integers(min_value=0, max_value=15)
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _KEYS, st.binary(min_size=1, max_size=48)),
+        st.tuples(st.just("delete"), _KEYS, st.just(b"")),
+        st.tuples(st.just("get"), _KEYS, st.just(b"")),
+        st.tuples(st.just("stall"), st.just(0), st.just(b"")),
+        st.tuples(st.just("unstall"), st.just(0), st.just(b"")),
+        st.tuples(st.just("rollback"), st.just(0), st.just(b"")),
+    ),
+    max_size=40,
+)
+
+
+@SETTINGS
+@given(ops=_OPS)
+def test_model_based_differential_with_interface_switching(ops):
+    """Any interleaving of puts/deletes/reads with stall-window toggles and
+    rollbacks must stay byte-identical to the in-memory model."""
+    env = Environment()
+    db, ssd, cpu, reg = make_faulty_system(env)
+    db.detector.stop()
+    db.rollback_manager.stop()
+    oracle = DifferentialOracle(seed=reg.seed)
+
+    def driver():
+        for op, k, v in ops:
+            key = encode_key(k)
+            if op == "put":
+                oracle.begin_put(key, v)
+                yield from db.put(key, v)
+                oracle.ack()
+            elif op == "delete":
+                oracle.begin_delete(key)
+                yield from db.delete(key)
+                oracle.ack()
+            elif op == "get":
+                got = yield from db.get(key)
+                oracle.check_read(key, got)
+            elif op == "stall":
+                db.detector.stall_condition = True
+            elif op == "unstall":
+                db.detector.stall_condition = False
+            elif op == "rollback" and not db.detector.stall_condition:
+                yield from db.final_rollback()
+        db.detector.stall_condition = False
+        yield from db.final_rollback()
+        for key in oracle.tracked_keys():
+            got = yield from db.get(key)
+            oracle.check_read(key, got)
+
+    run(env, driver())
+    assert ssd.kv.is_empty
+    assert len(db.metadata) == 0
+    db.close()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 from repro.device import (
     BlockDevice,
     CpuModel,
@@ -98,3 +100,41 @@ def small_kvaccel(env: Environment, options: LsmOptions | None = None,
         **kw,
     )
     return db, ssd, cpu
+
+
+def fault_seed(default: int | None = None) -> int:
+    """The pinned fault/workload seed for this test run.
+
+    Override with ``REPRO_FAULT_SEED=0x...`` to replay a failure whose
+    message printed a seed.  Fault-test assertion messages embed this seed,
+    so every failure is reproducible from its own output.
+    """
+    from repro.faults import DEFAULT_SEED
+
+    env_seed = os.environ.get("REPRO_FAULT_SEED")
+    if env_seed is not None:
+        return int(env_seed, 0)
+    return DEFAULT_SEED if default is None else default
+
+
+def make_faulty_system(env: Environment, seed: int | None = None,
+                       rollback: str = "disabled",
+                       record_trace: bool = False,
+                       options: LsmOptions | None = None, **kw):
+    """A small KVACCEL stack with a seeded FaultRegistry installed.
+
+    Returns ``(db, ssd, cpu, registry)``.  Arm sites on the registry and
+    drive ops as usual; the registry's seed (also embedded in oracle
+    assertion messages) makes any schedule reproducible:
+
+        db, ssd, cpu, reg = make_faulty_system(env)
+        reg.arm("nand.program", NthOccurrencePlan(3))   # FAIL on 3rd program
+    """
+    from repro.faults import FaultRegistry
+
+    resolved = fault_seed(seed) if seed is None else seed
+    registry = FaultRegistry(resolved).install(env)
+    registry.record_trace = record_trace
+    db, ssd, cpu = small_kvaccel(env, options=options, rollback=rollback,
+                                 **kw)
+    return db, ssd, cpu, registry
