@@ -7,8 +7,13 @@ compaction / redirect), stall cause breakdown, and device byte totals —
 the same accounting that backs the paper's bandwidth-reclamation argument.
 
 Run:  python examples/analyze_run.py
+
+With ``--trace trace.json`` (a Chrome trace recorded via
+``python -m repro.bench fig11 --trace trace.json``) it instead prints the
+top-5 longest spans per category plus the per-stall attribution table.
 """
 
+import argparse
 import copy
 
 from repro.bench.profiles import mini_profile
@@ -22,6 +27,35 @@ from repro.metrics import (
 )
 from repro.sim import Environment
 from repro.workload import DriverConfig, FillRandomDriver
+
+
+def analyze_trace(path: str, n: int = 5) -> None:
+    """Print the longest spans per category and stall attribution."""
+    from repro.obs import (
+        attribution_report,
+        load_chrome_trace,
+        spans_from_chrome,
+        top_spans,
+    )
+
+    spans = spans_from_chrome(load_chrome_trace(path))
+    print(f"{path}: {len(spans)} spans")
+    for cat, items in sorted(top_spans(spans, n=n).items()):
+        print(f"\ntop {len(items)} longest '{cat}' spans:")
+        for dur, name, t0 in items:
+            print(f"  {dur*1000:10.3f} ms  {name:32s} @ t={t0:.3f}s")
+    print()
+    print(attribution_report(spans, title=path))
+
+
+parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+parser.add_argument("--trace", metavar="FILE", default=None,
+                    help="analyze a recorded Chrome trace instead of "
+                         "running the workloads")
+args = parser.parse_args()
+if args.trace:
+    analyze_trace(args.trace)
+    raise SystemExit(0)
 
 profile = mini_profile(256)
 

@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from .experiments import ALL
+from .runner import set_trace_output, written_traces
 
 
 def main(argv=None) -> int:
@@ -26,7 +27,15 @@ def main(argv=None) -> int:
                         help=f"one of {', '.join(sorted(ALL))}, or 'all'")
     parser.add_argument("--quick", action="store_true",
                         help="use the fast mini256 profile")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a Chrome trace per experiment cell "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--report", action="store_true",
+                        help="with --trace: print per-stall attribution "
+                             "reports from the recorded traces")
     args = parser.parse_args(argv)
+    if args.report and not args.trace:
+        parser.error("--report requires --trace")
 
     if not args.experiment:
         print("available experiments:")
@@ -41,12 +50,29 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
 
+    if args.trace:
+        set_trace_output(args.trace)
+
     failed = []
     for name in names:
         print(f"\n=== {name} " + "=" * (68 - len(name)))
         out = ALL[name].run(quick=args.quick)
         if not out["check"].passed:
             failed.append(name)
+
+    if args.trace:
+        paths = written_traces()
+        print(f"\n{len(paths)} trace file(s) written:")
+        for p in paths:
+            print(f"  {p}")
+        if args.report:
+            from ..obs import (attribution_report, load_chrome_trace,
+                               spans_from_chrome)
+            for p in paths:
+                spans = spans_from_chrome(load_chrome_trace(p))
+                print()
+                print(attribution_report(spans, title=p))
+        set_trace_output(None)
     if failed:
         print(f"\nFAILED shape checks: {failed}", file=sys.stderr)
         return 1

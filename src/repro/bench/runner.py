@@ -20,6 +20,7 @@ from ..core import KvaccelDb, RollbackConfig
 from ..device import CpuModel, HybridSsd
 from ..lsm import DbImpl
 from ..metrics import RunCollector, RunResult
+from ..obs import Tracer, write_chrome_trace
 from ..sim import Environment
 from ..workload import (
     DriverConfig,
@@ -31,9 +32,45 @@ from ..workload import (
 )
 from .profiles import ExperimentProfile
 
-__all__ = ["RunSpec", "run_workload", "build_system"]
+__all__ = ["RunSpec", "run_workload", "build_system",
+           "set_trace_output", "written_traces"]
 
 SYSTEMS = ("rocksdb", "adoc", "kvaccel")
+
+# Module-level trace routing: experiments call run_workload without trace
+# arguments, so ``python -m repro.bench fig11 --trace out.json`` sets the
+# base path here and every cell writes ``out.NN.<label>.json``.
+_TRACE_PATH: Optional[str] = None
+_trace_seq = 0
+_written: list = []
+
+
+def set_trace_output(path: Optional[str]) -> None:
+    """Route subsequent :func:`run_workload` calls through a tracer.
+
+    One Chrome trace file is written per cell, the cell label and a
+    sequence number spliced into ``path``'s stem.  Pass ``None`` to turn
+    tracing back off.
+    """
+    global _TRACE_PATH, _trace_seq
+    _TRACE_PATH = path
+    _trace_seq = 0
+    _written.clear()
+
+
+def written_traces() -> list:
+    """Trace files written since the last :func:`set_trace_output`."""
+    return list(_written)
+
+
+def _cell_trace_path(base: str, label: str) -> str:
+    global _trace_seq
+    _trace_seq += 1
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in label)
+    stem, dot, ext = base.rpartition(".")
+    if not dot:
+        return f"{base}.{_trace_seq:02d}.{safe}.json"
+    return f"{stem}.{_trace_seq:02d}.{safe}.{ext}"
 
 
 @dataclass
@@ -104,9 +141,27 @@ def _main_db(db):
     return db.main if isinstance(db, KvaccelDb) else db
 
 
-def run_workload(spec: RunSpec, profile: ExperimentProfile) -> RunResult:
-    """Run one experiment cell and return its RunResult."""
+def run_workload(
+    spec: RunSpec,
+    profile: ExperimentProfile,
+    tracer: Optional[Tracer] = None,
+    trace_path: Optional[str] = None,
+) -> RunResult:
+    """Run one experiment cell and return its RunResult.
+
+    ``tracer`` installs a caller-owned tracer on the cell's environment;
+    ``trace_path`` additionally writes a Chrome trace there.  With neither,
+    the module-level :func:`set_trace_output` path (if any) applies, one
+    file per cell.
+    """
     env = Environment()
+    cell_path = trace_path
+    if cell_path is None and tracer is None and _TRACE_PATH is not None:
+        cell_path = _cell_trace_path(_TRACE_PATH, spec.display)
+    if tracer is None and cell_path is not None:
+        tracer = Tracer()
+    if tracer is not None:
+        tracer.install(env)
     db, ssd, cpu = build_system(env, profile, spec)
     wl = WORKLOADS[spec.workload]
     duration = spec.duration if spec.duration is not None else profile.duration
@@ -171,4 +226,11 @@ def run_workload(spec: RunSpec, profile: ExperimentProfile) -> RunResult:
         result.extra["seeks"] = driver.seeks
         result.extra["entries_scanned"] = driver.entries_scanned
     db.close()
+    if tracer is not None:
+        tracer.close_open_spans()
+        result.extra["tracer"] = tracer
+        if cell_path is not None:
+            write_chrome_trace(tracer, cell_path, label=spec.display)
+            result.extra["trace_path"] = cell_path
+            _written.append(cell_path)
     return result

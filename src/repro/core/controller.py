@@ -47,6 +47,16 @@ class KvaccelController:
         # Set by the RollbackManager while a rollback runs: redirection is
         # suspended so the Dev-LSM reset cannot drop late arrivals.
         self.rollback_in_progress = False
+        self._last_route: Optional[str] = None
+
+    def _route(self, to: str) -> None:
+        """Trace an interface switch (main<->dev) on route changes."""
+        if to != self._last_route:
+            tr = self.env.tracer
+            if tr is not None and self._last_route is not None:
+                tr.instant("ctl", "ctl.switch", actor="write_controller",
+                           args={"to": to})
+            self._last_route = to
 
     # -- write path ----------------------------------------------------------
     def put(self, key: bytes, value) -> Generator:
@@ -57,6 +67,7 @@ class KvaccelController:
         latched verdict (refreshed every 0.1 s, paper Section VI-A)."""
         self.last_write_time = self.env.now
         if self.detector.stall_condition and not self.rollback_in_progress:
+            self._route("dev")
             if self.env.faults is not None:
                 yield from fault_point(self.env, "ctl.put.redirect")
             t0 = self.env.now
@@ -72,6 +83,7 @@ class KvaccelController:
             self.main.stats.record_write_latency(self.env.now - t0,
                                                  count=len(triples))
         else:
+            self._route("main")
             if self.env.faults is not None:
                 yield from fault_point(self.env, "ctl.put.normal")
             for key, _value in pairs:
@@ -83,6 +95,7 @@ class KvaccelController:
     def delete(self, key: bytes) -> Generator:
         self.last_write_time = self.env.now
         if self.detector.stall_condition and not self.rollback_in_progress:
+            self._route("dev")
             if self.env.faults is not None:
                 yield from fault_point(self.env, "ctl.delete.redirect")
             seq = self.main.next_seq()
@@ -90,6 +103,7 @@ class KvaccelController:
             yield from self.kv.delete(key, seq)
             self.redirected_writes += 1
         else:
+            self._route("main")
             if self.env.faults is not None:
                 yield from fault_point(self.env, "ctl.delete.normal")
             if not self.metadata.is_empty and self.metadata.contains(key):

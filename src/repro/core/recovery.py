@@ -41,6 +41,9 @@ def recover_after_crash(controller: KvaccelController,
     """
     env = controller.env
     t0 = env.now
+    tr = env.tracer
+    _sp = (tr.begin("recovery", "recovery.metadata", actor="recovery")
+           if tr is not None else None)
     if env.faults is not None:
         yield from fault_point(env, "recovery.start")
     controller.metadata.drop()
@@ -63,6 +66,8 @@ def recover_after_crash(controller: KvaccelController,
     controller.metadata.clear()
     if env.faults is not None:
         touch(env, "recovery.complete")
+    if _sp is not None:
+        tr.end(_sp, args={"entries": len(entries), "bytes": nbytes})
     return RecoveryReport(
         entries_recovered=len(entries),
         bytes_recovered=nbytes,

@@ -123,6 +123,10 @@ class RollbackManager:
         """
         self.in_progress = True
         self.controller.rollback_in_progress = True
+        tr = self.env.tracer
+        _sp = (tr.begin("rollback", f"rollback.{self.config.scheme}",
+                        args={"scheme": self.config.scheme})
+               if tr is not None else None)
         try:
             t0 = self.env.now
             controller = self.controller
@@ -149,7 +153,12 @@ class RollbackManager:
                 touch(self.env, "rollback.complete")
             self.records.append(RollbackRecord(
                 start=t0, end=self.env.now, entries=len(entries), bytes=nbytes))
+            if _sp is not None:
+                tr.end(_sp, args={"entries": len(entries), "bytes": nbytes})
+                _sp = None
         finally:
+            if _sp is not None:   # aborted mid-flight (e.g. injected crash)
+                tr.end(_sp, args={"aborted": True})
             self.in_progress = False
             self.controller.rollback_in_progress = False
 

@@ -166,6 +166,10 @@ class DevLsm:
     def put(self, entry: Entry) -> Generator:
         """Insert a PUT or DELETE entry (blocking process generator)."""
         cfg = self.config
+        tr = self.env.tracer
+        _sp = (tr.begin("devlsm", "devlsm.put", actor="devlsm",
+                        args={"bytes": entry_size(entry)})
+               if tr is not None else None)
         self.arm.charge(cfg.arm_op_cost, tag="devlsm.put")
         key = entry[0]
         old = self._memtable.get(key)
@@ -177,12 +181,18 @@ class DevLsm:
             touch(self.env, "devlsm.put.applied")
         if self._memtable_bytes >= cfg.memtable_bytes:
             yield from self._flush()
+        if _sp is not None:
+            tr.end(_sp)
         return None
 
     def _flush(self) -> Generator:
         """Flush the device memtable as one sorted run into KV NAND."""
         if not self._memtable:
             return
+        tr = self.env.tracer
+        _sp = (tr.begin("devlsm", "devlsm.flush", actor="devlsm",
+                        args={"bytes": self._memtable_bytes})
+               if tr is not None else None)
         if self.env.faults is not None:
             yield from fault_point(self.env, "devlsm.flush.start")
         # Snapshot, don't swap: the memtable must stay intact until the run
@@ -212,6 +222,8 @@ class DevLsm:
         self.flush_count += 1
         if self.env.faults is not None:
             yield from fault_point(self.env, "devlsm.flush.complete")
+        if _sp is not None:
+            tr.end(_sp, args={"runs": len(self.runs)})
         if (self.config.compaction_enabled
                 and len(self.runs) >= self.config.compaction_trigger_runs):
             yield from self._compact()
@@ -228,6 +240,10 @@ class DevLsm:
         merged = self._merged_entries(include_memtable=False)
         nbytes = sum(entry_size(e) for e in merged)
         old_bytes = sum(r.nbytes for r in self.runs)
+        tr = self.env.tracer
+        _sp = (tr.begin("devlsm", "devlsm.compact", actor="devlsm",
+                        args={"runs": len(self.runs), "bytes": old_bytes})
+               if tr is not None else None)
         yield from self.arm.consume((old_bytes + nbytes) * self.config.arm_byte_cost,
                                     tag="devlsm.compact")
         yield from self.nand.io("read", old_bytes)

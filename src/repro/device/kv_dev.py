@@ -76,6 +76,9 @@ class KvDevice:
             self.lost_commands += 1        # command lost on the wire
             return
         payload = _CAPSULE_BYTES + len(key) + value_size(value)
+        tr = self.env.tracer
+        _sp = (tr.begin("kv", "kv.put", args={"bytes": payload})
+               if tr is not None else None)
         yield from self.pcie.transfer(payload)
         entry = make_entry(key, seq, value, kind=KIND_PUT)
         for _ in range(2 if action is not None
@@ -83,6 +86,8 @@ class KvDevice:
             yield from self.devlsm.put(entry)
         if action is not None and action.kind == DUPLICATE:
             self.duplicated_commands += 1
+        if _sp is not None:
+            tr.end(_sp)
         if self.env.faults is not None:
             yield from fault_point(self.env, "kv.put.complete")
 
@@ -100,6 +105,10 @@ class KvDevice:
             return
         payload = _CAPSULE_BYTES + sum(
             len(k) + value_size(v) for k, _s, v in triples)
+        tr = self.env.tracer
+        _sp = (tr.begin("kv", "kv.put_batch",
+                        args={"bytes": payload, "records": len(triples)})
+               if tr is not None else None)
         yield from self.pcie.transfer(payload)
         duplicate = action is not None and action.kind == DUPLICATE
         for _ in range(2 if duplicate else 1):
@@ -108,6 +117,8 @@ class KvDevice:
                 yield from self.devlsm.put(entry)
         if duplicate:
             self.duplicated_commands += 1
+        if _sp is not None:
+            tr.end(_sp)
         if self.env.faults is not None:
             yield from fault_point(self.env, "kv.put_batch.complete")
 
@@ -118,13 +129,19 @@ class KvDevice:
         if action is not None and action.kind == DROP:
             self.lost_commands += 1
             return
-        yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
+        payload = _CAPSULE_BYTES + len(key)
+        tr = self.env.tracer
+        _sp = (tr.begin("kv", "kv.delete", args={"bytes": payload})
+               if tr is not None else None)
+        yield from self.pcie.transfer(payload)
         entry = make_entry(key, seq, None, kind=KIND_DELETE)
         for _ in range(2 if action is not None
                        and action.kind == DUPLICATE else 1):
             yield from self.devlsm.put(entry)
         if action is not None and action.kind == DUPLICATE:
             self.duplicated_commands += 1
+        if _sp is not None:
+            tr.end(_sp)
         if self.env.faults is not None:
             yield from fault_point(self.env, "kv.delete.complete")
 
@@ -178,8 +195,13 @@ class KvDevice:
         """Bulky range scan of the whole Dev-LSM (rollback step 3-6)."""
         self._count("bulk_scan")
         yield from self._submit("kv.bulk_scan.start")
+        tr = self.env.tracer
+        _sp = (tr.begin("kv", "kv.bulk_scan") if tr is not None else None)
         yield from self.pcie.transfer(_CAPSULE_BYTES)
         entries = yield from self.devlsm.bulk_scan(self.pcie)
+        if _sp is not None:
+            tr.end(_sp, args={"entries": len(entries),
+                              "bytes": sum(entry_size(e) for e in entries)})
         if self.env.faults is not None:
             yield from fault_point(self.env, "kv.bulk_scan.complete")
         return entries

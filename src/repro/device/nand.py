@@ -81,6 +81,12 @@ class NandArray:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        tr = self.env.tracer
+        # Span actor defaults to the calling process, so NAND time nests
+        # inside the flush / compaction / Dev-LSM span that issued it.
+        _sp = (tr.begin("nand", f"nand.{op}",
+                        args={"bytes": nbytes, "priority": priority})
+               if tr is not None else None)
         if self.env.faults is not None:
             # Fault sites: nand.read / nand.program / nand.erase.
             yield from fault_point(self.env, f"nand.{op}")
@@ -96,6 +102,8 @@ class NandArray:
             yield self.env.timeout(dt)
             self.busy_time += dt
             self.ledger.record(t0, self.env.now, nbytes)
+        if _sp is not None:
+            tr.end(_sp)
 
     @property
     def queue_len(self) -> int:

@@ -117,6 +117,10 @@ class BandwidthPipe:
         """Move ``nbytes`` through the pipe (blocking process generator)."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        tr = self.env.tracer
+        _sp = (tr.begin("pcie", f"{self.name}.transfer",
+                        args={"bytes": nbytes})
+               if tr is not None else None)
         if self.env.faults is not None:
             # Fault site: e.g. "pcie.transfer" (modeled transfer drop/delay).
             yield from fault_point(self.env, f"{self.name}.transfer")
@@ -128,6 +132,8 @@ class BandwidthPipe:
             self.busy_time += dt
             if self.ledger is not None:
                 self.ledger.record(t0, self.env.now, nbytes)
+        if _sp is not None:
+            tr.end(_sp)
 
     @property
     def queue_len(self) -> int:

@@ -49,9 +49,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list-sites", action="store_true",
         help="trace the workload, list reachable sites, and exit")
+    parser.add_argument(
+        "--trace-tail", type=int, default=0, metavar="N",
+        help="record the last N trace records before each crash and print "
+             "them for failing runs (default: 0 = off)")
     args = parser.parse_args(argv)
 
-    harness = KvaccelFaultHarness(seed=args.seed, scale=args.scale)
+    harness = KvaccelFaultHarness(seed=args.seed, scale=args.scale,
+                                  trace_tail=args.trace_tail)
 
     if args.list_sites:
         trace = harness.trace()
@@ -68,6 +73,21 @@ def main(argv=None) -> int:
                                 site_filter=args.site_filter)
     for line in report.summary_lines():
         print(line)
+    if args.trace_tail > 0:
+        for rep in report.reports:
+            if rep.ok or not rep.trace_tail:
+                continue
+            print(f"\ntrace tail before crash at {rep.site}"
+                  f"#{rep.occurrence} (last {len(rep.trace_tail)}):")
+            for rec in rep.trace_tail:
+                if rec["kind"] == "span":
+                    t1 = rec["t1"]
+                    end = f"{t1:.6f}" if t1 is not None else "open"
+                    print(f"  [{rec['t0']:.6f}..{end}] "
+                          f"{rec['cat']}/{rec['name']} ({rec['actor']})")
+                elif rec["kind"] == "instant":
+                    print(f"  [{rec['t']:.6f}] {rec['cat']}/{rec['name']} "
+                          f"({rec['actor']}) {rec['args'] or ''}")
     if args.site_filter is not None and not report.reports:
         print(f"error: --site-filter {args.site_filter!r} matched none of "
               f"the {report.sites_traced} traced sites", file=sys.stderr)

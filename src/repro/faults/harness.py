@@ -41,6 +41,7 @@ from ..device import (
     NandGeometry,
 )
 from ..lsm import LsmOptions
+from ..obs import Tracer
 from ..sim import Environment, Interrupt
 from ..types import encode_key
 from .oracle import DifferentialOracle, Violation
@@ -83,6 +84,10 @@ class CrashReport:
     sim_time: float = 0.0
     seed: int = DEFAULT_SEED
     error: Optional[str] = None
+    # Last N spans/instants before the crash (ring-buffered), when the
+    # harness was built with ``trace_tail > 0``.  Each item is a dict:
+    # {"cat", "name", "actor", "t0", "t1"|None, "args"}.
+    trace_tail: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -143,11 +148,15 @@ class KvaccelFaultHarness:
     """Builds fresh seeded systems and runs trace / crash-at-site passes."""
 
     def __init__(self, seed: int = DEFAULT_SEED, scale: int = 1,
-                 recovery: Optional[Callable[[KvaccelDb], Generator]] = None):
+                 recovery: Optional[Callable[[KvaccelDb], Generator]] = None,
+                 trace_tail: int = 0):
         if scale < 1:
             raise ValueError("scale must be >= 1")
+        if trace_tail < 0:
+            raise ValueError("trace_tail must be >= 0")
         self.seed = seed
         self.scale = scale
+        self.trace_tail = trace_tail   # ring-buffer span tail per crash run
         self._recovery = recovery   # None = the real db.recover()
 
     # -- system construction ----------------------------------------------
@@ -155,6 +164,11 @@ class KvaccelFaultHarness:
         env = Environment()
         registry = FaultRegistry(self.seed).install(env)
         registry.record_trace = record_trace
+        if self.trace_tail > 0:
+            # Ring-buffered: keeps only the last N records, so the sweep's
+            # memory stays bounded while every crash report carries the
+            # spans leading up to its injected fault.
+            Tracer(max_events=self.trace_tail).install(env)
         cpu = CpuModel(env, cores=8, name="host")
         geometry = NandGeometry(channels=2, ways=4, blocks_per_way=256,
                                 pages_per_block=32, page_size=4096)
@@ -294,6 +308,13 @@ class KvaccelFaultHarness:
                 proc.interrupt("crash")
                 run.env.run(until=proc)
             run.registry.clear_arms()
+            if run.env.tracer is not None:
+                # Snapshot the span tail before recovery adds its own
+                # records.  Open spans (the abandoned in-flight op, plus
+                # background flush/compaction still running) appear with
+                # t1=None — they are not closed here because surviving
+                # processes will end theirs normally during recovery.
+                report.trace_tail = run.env.tracer.tail(self.trace_tail)
 
             # -- recovery ------------------------------------------------
             recovery = self._recovery or (lambda db: db.recover())

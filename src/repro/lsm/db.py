@@ -203,10 +203,14 @@ class DbImpl:
             raise self.background_error
         opt = self.options
         nbytes = sum(entry_size(e) for e in entries)
+        tr = self.env.tracer
+        _sp = (tr.begin("write", "write",
+                        args={"entries": len(entries), "bytes": nbytes})
+               if tr is not None else None)
         if self.env.faults is not None:
             # Pre-persistence: the batch exists only in the caller's hands.
             yield from fault_point(self.env, "db.write.gate")
-        yield from self.write_controller.gate(nbytes)
+        held = yield from self.write_controller.gate(nbytes)
         yield from self.host_cpu.consume(opt.cpu.put * len(entries),
                                          tag=f"{self.name}.write")
         if self.wal is not None:
@@ -219,6 +223,8 @@ class DbImpl:
         self.stats.user_write_bytes += nbytes
         if self.mem.approximate_bytes >= opt.write_buffer_size:
             yield from self._switch_memtable()
+        if _sp is not None:
+            tr.end(_sp, args={"held": held})
 
     def _switch_memtable(self) -> Generator:
         """Seal the active memtable and queue it for flush.
@@ -250,6 +256,11 @@ class DbImpl:
         self.imm.append((sealed, segment))
         if self.env.faults is not None:
             touch(self.env, "db.memtable.seal")
+        if self.env.tracer is not None:
+            self.env.tracer.instant(
+                "write", "memtable.seal",
+                args={"bytes": sealed.approximate_bytes,
+                      "imm": len(self.imm)})
         self.write_controller.refresh()
         yield self._flush_queue.put((sealed, segment))
 
@@ -275,6 +286,10 @@ class DbImpl:
 
     def _flush_one(self, mem: MemTable, segment) -> Generator:
         opt = self.options
+        tr = self.env.tracer
+        _sp = (tr.begin("flush", "flush",
+                        args={"bytes": mem.approximate_bytes})
+               if tr is not None else None)
         if self.env.faults is not None:
             yield from fault_point(self.env, "db.flush.start")
         entries = mem.entries()
@@ -304,6 +319,8 @@ class DbImpl:
         if self.wal is not None and segment is not None:
             self.wal.retire_segment(segment)
         self.stats.flushes += 1
+        if _sp is not None:
+            tr.end(_sp)
         self.write_controller.refresh()
         self._wake_background()
 
@@ -362,6 +379,14 @@ class DbImpl:
         merging leave the link idle until the write burst.
         """
         opt = self.options
+        tr = self.env.tracer
+        _sp = (tr.begin("compaction",
+                        f"compaction[L{job.level}->L{job.output_level}]",
+                        args={"level": job.level,
+                              "output_level": job.output_level,
+                              "input_bytes": job.input_bytes,
+                              "inputs": len(job.all_inputs)})
+               if tr is not None else None)
         if self.env.faults is not None:
             yield from fault_point(self.env, "db.compact.start")
         merged = merge_for_compaction(job, opt.num_levels)
@@ -432,6 +457,9 @@ class DbImpl:
         for meta in job.all_inputs:
             self.fs.delete(self._sst_name(meta.number))
         self.stats.compactions += 1
+        if _sp is not None:
+            tr.end(_sp, args={"output_bytes": output_bytes,
+                              "outputs": len(added)})
         self.write_controller.refresh()
         self._wake_background()
 
@@ -578,6 +606,9 @@ class DbImpl:
         if self.wal is None:
             raise RuntimeError("crash recovery requires the WAL")
         t0 = self.env.now
+        tr = self.env.tracer
+        _sp = (tr.begin("recovery", "recovery.host", actor="recovery")
+               if tr is not None else None)
 
         # -- the crash ---------------------------------------------------
         lost_buffered = len(self.wal._buffered_records)
@@ -641,6 +672,8 @@ class DbImpl:
                                                 name=f"{self.name}.flush")
         self.write_controller.refresh()
         self._wake_background()
+        if _sp is not None:
+            tr.end(_sp, args={"replayed": replayed, "orphans": len(orphans)})
         return {
             "replayed_records": replayed,
             "lost_buffered_records": lost_buffered,

@@ -80,6 +80,9 @@ class Wal:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         env = self.fs.device.env
+        tr = env.tracer
+        _sp = (tr.begin("wal", "wal.append", args={"bytes": nbytes})
+               if tr is not None else None)
         if env.faults is not None:
             # Pre-persistence: nothing of this record is buffered yet.
             yield from fault_point(env, "wal.append")
@@ -89,6 +92,8 @@ class Wal:
             self._buffered_records.extend(records)
         if self._buffer >= self.group_commit_bytes:
             yield from self._flush()
+        if _sp is not None:
+            tr.end(_sp)
 
     def sync(self) -> Generator:
         """Force the buffered tail to the device."""
@@ -101,6 +106,10 @@ class Wal:
         self.flush_count += 1
         self.durable_bytes += nbytes
         env = self.fs.device.env
+        tr = env.tracer
+        _sp = (tr.begin("wal", "wal.group_commit",
+                        args={"bytes": nbytes, "records": len(records)})
+               if tr is not None else None)
         if env.faults is not None:
             # Between buffer hand-off and media write: a crash here tears
             # the whole commit group (none of its records become durable).
@@ -109,6 +118,8 @@ class Wal:
         self._journals[self._segment.name].extend(records)
         if env.faults is not None:
             yield from fault_point(env, "wal.flush.complete")
+        if _sp is not None:
+            tr.end(_sp)
 
     def retire_segment(self, segment: SimFile) -> None:
         """Delete an old segment once its memtable reached an SST."""

@@ -72,6 +72,13 @@ class WriteController:
         self.stall_events = 0
         self.total_stall_time = 0.0
         self.total_delayed_time = 0.0
+        # per-StallReason books (RunResult.stall_breakdown)
+        self.stall_reason_counts: dict[str, int] = {}
+        self.stall_reason_time: dict[str, float] = {}
+        self.slowdown_reason_counts: dict[str, int] = {}
+        self.delayed_reason_time: dict[str, float] = {}
+        self._stall_reason: Optional[str] = None    # reason latched at entry
+        self._stall_span = None                     # open obs span, if traced
 
     # -- state machine -----------------------------------------------------
     def _conditions(self) -> tuple[str, str]:
@@ -105,12 +112,18 @@ class WriteController:
         imm, l0, pending, _full = self.stats_fn()
         backlog = (l0, pending)
         if self._last_backlog is not None:
+            old_rate = self.current_delay_rate
             if backlog > self._last_backlog:
                 self.current_delay_rate = max(self.min_delay_rate,
                                               self.current_delay_rate * 0.71)
             elif backlog < self._last_backlog:
                 self.current_delay_rate = min(self.max_delay_rate,
                                               self.current_delay_rate * 1.05)
+            tr = self.env.tracer
+            if tr is not None and self.current_delay_rate != old_rate:
+                tr.instant("stall", "slowdown.rate", actor="write_controller",
+                           args={"rate": self.current_delay_rate,
+                                 "reason": self.reason})
         self._last_backlog = backlog
 
     def refresh(self) -> None:
@@ -123,12 +136,24 @@ class WriteController:
                 self._adapt_delay_rate()
             return
         now = self.env.now
+        tr = self.env.tracer
         # leaving STOPPED
         if old_state == WriteState.STOPPED:
             if self._stall_start is not None:
                 self.stall_intervals.append((self._stall_start, now))
                 self.total_stall_time += now - self._stall_start
+                if self._stall_reason is not None:
+                    self.stall_reason_time[self._stall_reason] = (
+                        self.stall_reason_time.get(self._stall_reason, 0.0)
+                        + now - self._stall_start)
                 self._stall_start = None
+            ended_reason, self._stall_reason = self._stall_reason, None
+            if tr is not None:
+                if self._stall_span is not None:
+                    tr.end(self._stall_span)
+                    self._stall_span = None
+                tr.instant("stall", "stall.exit", actor="write_controller",
+                           args={"reason": ended_reason})
             ev, self._clear_event = self._clear_event, None
             if ev is not None:
                 ev.succeed()
@@ -136,12 +161,30 @@ class WriteController:
         if new_state == WriteState.STOPPED:
             self._stall_start = now
             self.stall_events += 1
+            self._stall_reason = new_reason
+            self.stall_reason_counts[new_reason] = (
+                self.stall_reason_counts.get(new_reason, 0) + 1)
             self._clear_event = self.env.event()
+            if tr is not None:
+                imm, l0, pending, _full = self.stats_fn()
+                pressure = {"reason": new_reason, "l0": l0, "imm": imm,
+                            "pending_bytes": pending}
+                tr.instant("stall", "stall.enter", actor="write_controller",
+                           args=pressure)
+                self._stall_span = tr.begin(
+                    "stall", f"stall.{new_reason}", actor="write_controller",
+                    args=pressure)
         # entering DELAYED from any other state counts one slowdown instance
         if new_state == WriteState.DELAYED and self.options.slowdown_enabled:
             self.slowdown_events += 1
+            self.slowdown_reason_counts[new_reason] = (
+                self.slowdown_reason_counts.get(new_reason, 0) + 1)
             self.current_delay_rate = self.options.delayed_write_rate
             self._last_backlog = None
+            if tr is not None:
+                tr.instant("stall", "slowdown.enter", actor="write_controller",
+                           args={"reason": new_reason,
+                                 "rate": self.current_delay_rate})
         self.state = new_state
         self.reason = new_reason
 
@@ -164,6 +207,7 @@ class WriteController:
                 continue  # conditions may have re-degraded
             if self.state == WriteState.DELAYED and opt.slowdown_enabled:
                 now = self.env.now
+                reason = self.reason
                 self._next_allowed = max(self._next_allowed, now)
                 wait = self._next_allowed - now
                 self._next_allowed += nbytes / self.current_delay_rate
@@ -178,6 +222,8 @@ class WriteController:
                     dt = self.env.now - t0
                     held += dt
                     self.total_delayed_time += dt
+                    self.delayed_reason_time[reason] = (
+                        self.delayed_reason_time.get(reason, 0.0) + dt)
             return held
 
     # -- queries -------------------------------------------------------------
@@ -186,10 +232,27 @@ class WriteController:
         """True when slowdown-level pressure exists (the Detector's signal)."""
         return self.state != WriteState.NORMAL
 
+    def breakdown(self) -> dict:
+        """Per-StallReason accounting (RunResult.stall_breakdown)."""
+        return {
+            "stalls": dict(self.stall_reason_counts),
+            "stall_time": dict(self.stall_reason_time),
+            "slowdowns": dict(self.slowdown_reason_counts),
+            "delayed_time": dict(self.delayed_reason_time),
+        }
+
     def finalize(self) -> None:
         """Close an open stall interval at end of run (for reporting)."""
         if self._stall_start is not None:
             now = self.env.now
             self.stall_intervals.append((self._stall_start, now))
             self.total_stall_time += now - self._stall_start
+            if self._stall_reason is not None:
+                self.stall_reason_time[self._stall_reason] = (
+                    self.stall_reason_time.get(self._stall_reason, 0.0)
+                    + now - self._stall_start)
             self._stall_start = now
+        tr = self.env.tracer
+        if tr is not None and self._stall_span is not None:
+            tr.end(self._stall_span)
+            self._stall_span = None

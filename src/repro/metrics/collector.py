@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import MetricRegistry
 from ..sim import Environment, PeriodicSampler, RateMeter
 from .efficiency import efficiency
 from .histogram import LatencyHistogram
@@ -42,6 +43,9 @@ class RunResult:
     slowdown_events: int = 0
     total_stall_time: float = 0.0
     total_delayed_time: float = 0.0
+    # per-StallReason attribution: {"stalls": {reason: n}, "stall_time":
+    # {reason: s}, "slowdowns": {reason: n}, "delayed_time": {reason: s}}
+    stall_breakdown: dict = field(default_factory=dict)
     # resources
     cpu_utilization: float = 0.0
     extra: dict = field(default_factory=dict)
@@ -83,6 +87,20 @@ class RunCollector:
         self._read_sampler = PeriodicSampler(
             env, self.read_meter.take_delta, sample_period, name=f"{name}.rd")
         self._t0 = env.now
+        # Typed registry over the same instruments — snapshot() gives one
+        # uniform view, and a traced run streams counter samples into the
+        # Chrome trace as "C" events.
+        self.registry = MetricRegistry()
+        self.registry.register(f"{name}.write_ops", self.write_meter)
+        self.registry.register(f"{name}.read_ops", self.read_meter)
+        self.registry.register(f"{name}.write_latency", self.write_hist)
+        self.registry.register(f"{name}.read_latency", self.read_hist)
+        self._trace_sampler = None
+        if env.tracer is not None:
+            registry, tracer = self.registry, env.tracer
+            self._trace_sampler = PeriodicSampler(
+                env, lambda: registry.sample_into(tracer),
+                sample_period, name=f"{name}.trace")
 
     def attach_db_stats(self, stats) -> None:
         """Point a DbStats' latency hooks at our histograms."""
@@ -92,6 +110,8 @@ class RunCollector:
     def stop(self) -> None:
         self._write_sampler.stop()
         self._read_sampler.stop()
+        if self._trace_sampler is not None:
+            self._trace_sampler.stop()
 
     def result(
         self,
@@ -122,6 +142,7 @@ class RunCollector:
             res.slowdown_events = write_controller.slowdown_events
             res.total_stall_time = write_controller.total_stall_time
             res.total_delayed_time = write_controller.total_delayed_time
+            res.stall_breakdown = write_controller.breakdown()
         if host_cpu is not None and duration > 0:
             res.cpu_utilization = host_cpu.utilization(self._t0, self.env.now)
         if pcie_ledger is not None:

@@ -1,0 +1,61 @@
+"""Observability: sim-time tracing, typed metrics, and trace exporters.
+
+``repro.obs`` mirrors the fault registry's installation pattern: a
+:class:`Tracer` is attached to the simulation :class:`~repro.sim.Environment`
+(``tracer.install(env)``) and every probe in the stack is guarded by a plain
+``env.tracer is not None`` check — with no tracer installed the probes cost
+one attribute read and allocate nothing, so production simulations are
+bit-identical with tracing off.
+
+Pieces:
+
+* :class:`Tracer` — nestable sim-time **spans** (``write``, ``flush``,
+  ``compaction[Lx->Ly]``, ``rollback.eager``, ``nand.program``, ...) and
+  point **instants** (stall enter/exit, detector verdicts, slowdown rate
+  changes, interface switches), timestamped from the DES clock;
+* :class:`MetricRegistry` — typed counters / gauges / sim-time histograms
+  that the run collector re-plugs its ad-hoc meters onto;
+* exporters — Chrome ``trace_event`` JSON (open in Perfetto or
+  ``chrome://tracing``), a JSONL event stream, and a human stall
+  attribution report (``python -m repro.obs report trace.json``).
+"""
+
+from .attribution import (
+    StallAttribution,
+    attribution_report,
+    stall_attribution,
+    top_spans,
+)
+from .export import (
+    chrome_trace_events,
+    load_chrome_trace,
+    spans_from_chrome,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, MetricRegistry, SimHistogram
+from .tracer import CounterRecord, InstantRecord, SpanRecord, Tracer
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "InstantRecord",
+    "CounterRecord",
+    "Counter",
+    "Gauge",
+    "SimHistogram",
+    "MetricRegistry",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "load_chrome_trace",
+    "spans_from_chrome",
+    "validate_chrome_trace",
+    "StallAttribution",
+    "stall_attribution",
+    "attribution_report",
+    "top_spans",
+]

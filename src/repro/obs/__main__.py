@@ -1,0 +1,60 @@
+"""Trace tooling CLI: ``python -m repro.obs {validate,report,top} file...``
+
+``validate`` runs the exporter's own schema check over Chrome-trace JSON
+files (what CI gates on); ``report`` prints the per-stall attribution
+table; ``top`` prints the longest spans per category.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .attribution import attribution_report, top_spans
+from .export import load_chrome_trace, spans_from_chrome, validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and validate Chrome-trace JSON files.")
+    parser.add_argument("command", choices=["validate", "report", "top"])
+    parser.add_argument("files", nargs="+", help="Chrome-trace JSON file(s)")
+    parser.add_argument("-n", type=int, default=5,
+                        help="spans per category for 'top' (default 5)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        try:
+            doc = load_chrome_trace(path)
+        except Exception as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+            continue
+        if args.command == "validate":
+            errors = validate_chrome_trace(doc)
+            n_events = len(doc.get("traceEvents") or [])
+            if errors:
+                print(f"{path}: INVALID ({len(errors)} problem(s))")
+                for e in errors[:10]:
+                    print(f"  - {e}")
+                status = 1
+            else:
+                print(f"{path}: ok ({n_events} events)")
+        elif args.command == "report":
+            spans = spans_from_chrome(doc)
+            print(attribution_report(spans, title=f"Stall attribution: {path}"))
+            print()
+        else:
+            spans = spans_from_chrome(doc)
+            print(f"== {path}: top {args.n} spans per category")
+            for cat, items in top_spans(spans, n=args.n).items():
+                print(f"  [{cat}]")
+                for dur, name, t0 in items:
+                    print(f"    {dur * 1e3:>10.3f} ms  {name:<32s} @ {t0:.3f}s")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

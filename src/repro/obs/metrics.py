@@ -1,0 +1,199 @@
+"""Typed metric registry: counters, gauges, sim-time histograms.
+
+The run collector and device ledgers historically kept ad-hoc lists and
+bare attributes.  The registry gives those a single typed home so a run's
+metrics can be snapshotted, exported next to a trace, or sampled into
+Chrome counter tracks — without changing how the benches read them.
+
+Existing instruments (``RateMeter``, ``LatencyHistogram``,
+``TrafficLedger``) plug in via :meth:`MetricRegistry.register`; the
+snapshot logic duck-types their value out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+__all__ = ["Counter", "Gauge", "SimHistogram", "MetricRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value; either set explicitly or read from a callback."""
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return float(self.fn()) if self.fn is not None else self._value
+
+
+class SimHistogram:
+    """Histogram over simulated-seconds durations (log2 buckets).
+
+    Unlike :class:`~repro.metrics.LatencyHistogram` (microseconds, fixed
+    sub-bucket resolution) this is unit-agnostic and meant for span
+    durations and queue waits recorded straight off the DES clock.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._buckets: dict[int, int] = {}
+
+    def record(self, value: float, count: int = 1) -> None:
+        if value < 0:
+            raise ValueError("durations must be >= 0")
+        self.count += count
+        self.sum += value * count
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        b = _bucket_of(value)
+        self._buckets[b] = self._buckets.get(b, 0) + count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile from the log2 buckets (upper bound)."""
+        if not 0 <= p <= 100:
+            raise ValueError("p must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = self.count * p / 100.0
+        seen = 0
+        for b in sorted(self._buckets):
+            seen += self._buckets[b]
+            if seen >= target:
+                return min(self.max, _bucket_upper(b))
+        return self.max
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+def _bucket_of(value: float) -> int:
+    """log2 bucket index; bucket b covers (2^(b-1), 2^b]."""
+    if value <= 0:
+        return -1075  # below every representable positive float
+    return math.ceil(math.log2(value))
+
+
+def _bucket_upper(b: int) -> float:
+    return float(2.0 ** b)
+
+
+class MetricRegistry:
+    """A named, typed collection of metrics for one run."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    # -- creation / registration ------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        g = self._metrics.get(name)
+        if g is None:
+            g = Gauge(name, fn)
+            self._metrics[name] = g
+        elif not isinstance(g, Gauge):
+            raise TypeError(f"metric {name!r} is {type(g).__name__}, not Gauge")
+        return g
+
+    def histogram(self, name: str) -> SimHistogram:
+        return self._get_or_create(name, SimHistogram)
+
+    def register(self, name: str, metric) -> None:
+        """Adopt an external instrument (RateMeter, LatencyHistogram,
+        TrafficLedger, ...) under ``name``; snapshot duck-types it."""
+        existing = self._metrics.get(name)
+        if existing is not None and existing is not metric:
+            raise ValueError(f"metric {name!r} already registered")
+        self._metrics[name] = metric
+
+    def _get_or_create(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} is {type(m).__name__}, not {cls.__name__}")
+        return m
+
+    # -- reading -----------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    @staticmethod
+    def _value_of(metric):
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        if isinstance(metric, SimHistogram):
+            return metric.summary()
+        if hasattr(metric, "summary") and hasattr(metric, "total_count"):
+            # repro.metrics.LatencyHistogram
+            return metric.summary() if metric.total_count else None
+        if hasattr(metric, "total_bytes"):       # TrafficLedger
+            return metric.total_bytes
+        if hasattr(metric, "total"):             # RateMeter
+            return metric.total
+        if hasattr(metric, "value"):
+            return metric.value
+        return repr(metric)
+
+    def snapshot(self) -> dict:
+        """{name: value-or-summary} for every registered metric."""
+        return {name: self._value_of(m) for name, m in self._metrics.items()}
+
+    def sample_into(self, tracer, actor: str = "metrics") -> None:
+        """Emit one Chrome counter sample per scalar metric."""
+        for name, m in self._metrics.items():
+            value = self._value_of(m)
+            if isinstance(value, (int, float)):
+                tracer.counter(name, value, actor=actor)

@@ -318,6 +318,9 @@ class Environment:
         # Optional repro.faults.FaultRegistry; fault probes throughout the
         # stack check this slot and are no-ops while it is None.
         self.faults = None
+        # Optional repro.obs.Tracer; trace probes follow the same pattern —
+        # one attribute read and zero allocations while this stays None.
+        self.tracer = None
 
     @property
     def now(self) -> float:

@@ -1,0 +1,45 @@
+"""Crash reports carry a ring-buffered trace tail when requested."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from helpers import fault_seed  # noqa: E402
+
+from repro.faults import KvaccelFaultHarness  # noqa: E402
+from repro.faults.__main__ import main as faults_main  # noqa: E402
+
+
+def test_crash_report_captures_trace_tail():
+    tail_len = 25
+    harness = KvaccelFaultHarness(seed=fault_seed(), trace_tail=tail_len)
+    report = harness.crash_at("devlsm.flush.start")
+    assert report.crashed
+    assert report.ok, report.describe()
+    tail = report.trace_tail
+    assert 0 < len(tail) <= tail_len
+    # oldest-first, each record a plain dict with a timestamp
+    times = [r.get("t", r.get("t0")) for r in tail]
+    assert times == sorted(times)
+    assert all(r["kind"] in ("span", "instant", "counter") for r in tail)
+    # the tail ends at the crash: its last records are from the redirected
+    # write that was in flight (kv / devlsm / pcie spans)
+    cats = {r.get("cat") for r in tail if r["kind"] == "span"}
+    assert cats & {"kv", "devlsm", "pcie", "nand"}
+    # the abandoned in-flight op shows up as open (t1=None) spans
+    assert any(r["t1"] is None for r in tail if r["kind"] == "span")
+
+
+def test_trace_tail_off_by_default():
+    harness = KvaccelFaultHarness(seed=fault_seed())
+    report = harness.crash_at("wal.append", occurrence=3)
+    assert report.crashed
+    assert report.trace_tail == []
+
+
+def test_faults_cli_accepts_trace_tail(capsys):
+    rc = faults_main(["--faults-budget", "2", "--trace-tail", "10"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "crash runs: 2" in out

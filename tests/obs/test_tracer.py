@@ -1,0 +1,169 @@
+"""Tracer semantics: zero-cost when disabled, nesting across DES yields,
+ring-buffer tail mode."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+import repro.obs.tracer as tracer_mod  # noqa: E402
+from helpers import run, small_db, small_options  # noqa: E402
+from repro.obs import SpanRecord, Tracer  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.types import encode_key  # noqa: E402
+
+
+def fill(env, db, n, value=b"x" * 256):
+    def gen():
+        for i in range(n):
+            yield from db.put(encode_key(i), value)
+    run(env, gen())
+
+
+# -- zero-cost when disabled ------------------------------------------------
+def test_disabled_tracer_allocates_no_span_objects(monkeypatch):
+    created = []
+    orig_init = SpanRecord.__init__
+
+    def counting_init(self, *a, **kw):
+        created.append(self)
+        orig_init(self, *a, **kw)
+
+    monkeypatch.setattr(tracer_mod.SpanRecord, "__init__", counting_init)
+    env = Environment()
+    db, _, _ = small_db(env)
+    assert env.tracer is None
+    fill(env, db, 300)
+    db.close()
+    assert created == []   # not a single span object on the untraced path
+
+
+def test_traced_run_same_trajectory_as_untraced():
+    """Probes are passive: with a tracer installed the simulation takes
+    exactly the same trajectory (sim time, flush/compaction counts)."""
+    def one_run(traced: bool):
+        env = Environment()
+        tr = Tracer().install(env) if traced else None
+        db, _, _ = small_db(env)
+        fill(env, db, 500)
+        stats = (env.now, db.stats.flushes, db.stats.compactions,
+                 db.write_controller.stall_events,
+                 db.write_controller.total_stall_time)
+        db.close()
+        return stats, tr
+
+    plain, _ = one_run(False)
+    traced, tr = one_run(True)
+    assert plain == traced
+    assert tr.span_count > 0   # and the traced run actually recorded spans
+
+
+# -- span nesting across generator yields -----------------------------------
+def test_spans_nest_and_close_across_yields():
+    env = Environment()
+    tr = Tracer().install(env)
+
+    def actor_a():
+        outer = tr.begin("t", "outer")
+        yield env.timeout(1.0)
+        inner = tr.begin("t", "inner")
+        yield env.timeout(1.0)
+        tr.end(inner)
+        yield env.timeout(1.0)
+        tr.end(outer)
+
+    def actor_b():
+        yield env.timeout(0.5)
+        sp = tr.begin("t", "other")
+        yield env.timeout(2.0)
+        tr.end(sp)
+
+    env.process(actor_a(), name="proc-a")
+    env.process(actor_b(), name="proc-b")
+    env.run()
+
+    spans = {s.name: s for s in tr.spans()}
+    assert set(spans) == {"outer", "inner", "other"}
+    # nesting depth is per actor, untouched by the interleaved process
+    assert spans["outer"].depth == 0
+    assert spans["inner"].depth == 1
+    assert spans["other"].depth == 0
+    # actors default to the emitting process name
+    assert spans["outer"].actor == "proc-a"
+    assert spans["other"].actor == "proc-b"
+    # timestamps: inner contained in outer, all closed
+    assert spans["outer"].t0 <= spans["inner"].t0
+    assert spans["inner"].t1 <= spans["outer"].t1
+    assert all(s.closed for s in spans.values())
+    assert spans["inner"].duration == pytest.approx(1.0)
+    assert spans["outer"].duration == pytest.approx(3.0)
+
+
+def test_end_twice_raises():
+    env = Environment()
+    tr = Tracer().install(env)
+    sp = tr.begin("t", "x", actor="a")
+    tr.end(sp)
+    with pytest.raises(RuntimeError):
+        tr.end(sp)
+
+
+def test_close_open_spans():
+    env = Environment()
+    tr = Tracer().install(env)
+    tr.begin("t", "left-open", actor="a")
+    assert tr.close_open_spans() == 1
+    (sp,) = tr.spans()
+    assert sp.closed and sp.name == "left-open"
+
+
+def test_end_merges_args():
+    env = Environment()
+    tr = Tracer().install(env)
+    sp = tr.begin("t", "x", actor="a", args={"in": 1})
+    tr.end(sp, args={"out": 2})
+    assert sp.args == {"in": 1, "out": 2}
+
+
+# -- ring-buffer mode --------------------------------------------------------
+def test_ring_buffer_keeps_tail_and_counts_drops():
+    env = Environment()
+    tr = Tracer(max_events=4).install(env)
+    for i in range(10):
+        tr.instant("t", f"ev{i}", actor="a")
+    assert len(tr) == 4
+    assert tr.dropped == 6
+    assert [r.name for r in tr.events] == ["ev6", "ev7", "ev8", "ev9"]
+    tail = tr.tail()
+    assert [t["name"] for t in tail] == ["ev6", "ev7", "ev8", "ev9"]
+    assert tr.tail(2)[0]["name"] == "ev8"
+
+
+def test_stall_spans_recorded_under_pressure():
+    """The write controller opens one stall span per stall interval and
+    stamps the latched StallReason plus LSM pressure into its args."""
+    env = Environment()
+    tr = Tracer().install(env)
+    opts = small_options(level0_stop_writes_trigger=3,
+                         level0_slowdown_writes_trigger=2,
+                         slowdown_enabled=False)
+    db, _, _ = small_db(env, opts)
+    fill(env, db, 4000)
+    wc = db.write_controller
+    wc.finalize()
+    tr.close_open_spans()
+    assert wc.stall_events > 0
+    stall_spans = list(tr.spans("stall"))
+    assert len(stall_spans) == len(wc.stall_intervals)
+    for sp, (t0, t1) in zip(stall_spans, wc.stall_intervals):
+        assert sp.t0 == pytest.approx(t0)
+        assert sp.t1 == pytest.approx(t1)
+        reason = sp.args["reason"]
+        assert sp.name == f"stall.{reason}"
+        assert reason in ("memtable", "l0", "pending_bytes")
+        assert "l0" in sp.args and "pending_bytes" in sp.args
+    db.close()
