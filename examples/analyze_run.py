@@ -11,6 +11,10 @@ Run:  python examples/analyze_run.py
 With ``--trace trace.json`` (a Chrome trace recorded via
 ``python -m repro.bench fig11 --trace trace.json``) it instead prints the
 top-5 longest spans per category plus the per-stall attribution table.
+
+With ``--health`` it runs a stall-prone RocksDB(1)-w/o-slowdown cell and
+a KVACCEL cell with the telemetry hub + health rules enabled, then prints
+each cell's HealthEvent timeline — the SLO-rule view of the same run.
 """
 
 import argparse
@@ -48,13 +52,41 @@ def analyze_trace(path: str, n: int = 5) -> None:
     print(attribution_report(spans, title=path))
 
 
+def analyze_health() -> None:
+    """Run a stall-prone cell and a KVACCEL cell; print health timelines."""
+    from repro.bench.runner import run_workload
+
+    profile = mini_profile(256)
+    for spec in [RunSpec("rocksdb", "A", 1, slowdown=False),
+                 RunSpec("kvaccel", "A", 1, rollback="disabled")]:
+        result = run_workload(spec, profile, telemetry=True)
+        events = result.health_events
+        enters = [e for e in events if e["phase"] == "enter"]
+        print(f"== {spec.display}: {len(enters)} health firing(s) "
+              f"over {result.duration:.1f}s")
+        if not events:
+            print("  (no health events — the run stayed within SLO)")
+        for e in events:
+            print(f"  t={e['t']:9.3f}  [{e['severity']:>8s}]  "
+                  f"{e['rule']:<28s} {e['phase']:<5s}  {e['message']}")
+        for rule, count in sorted(result.health_summary().items()):
+            print(f"  total {rule}: {count}")
+        print()
+
+
 parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
 parser.add_argument("--trace", metavar="FILE", default=None,
                     help="analyze a recorded Chrome trace instead of "
                          "running the workloads")
+parser.add_argument("--health", action="store_true",
+                    help="run with telemetry + health rules and print the "
+                         "HealthEvent timeline instead of the byte tables")
 args = parser.parse_args()
 if args.trace:
     analyze_trace(args.trace)
+    raise SystemExit(0)
+if args.health:
+    analyze_health()
     raise SystemExit(0)
 
 profile = mini_profile(256)

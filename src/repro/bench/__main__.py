@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .experiments import ALL
-from .runner import set_trace_output, written_traces
+from .runner import set_telemetry, set_trace_output, written_traces
 
 
 def main(argv=None) -> int:
@@ -33,6 +34,12 @@ def main(argv=None) -> int:
     parser.add_argument("--report", action="store_true",
                         help="with --trace: print per-stall attribution "
                              "reports from the recorded traces")
+    parser.add_argument("--json", metavar="PATH", nargs="?",
+                        const="", default=None, dest="json_out",
+                        help="write a BENCH_<exp>.json baseline per "
+                             "experiment (telemetry + health enabled); "
+                             "PATH may be a file (single experiment) or "
+                             "a directory")
     args = parser.parse_args(argv)
     if args.report and not args.trace:
         parser.error("--report requires --trace")
@@ -52,13 +59,37 @@ def main(argv=None) -> int:
 
     if args.trace:
         set_trace_output(args.trace)
+    if args.json_out is not None:
+        set_telemetry(True)
 
     failed = []
+    baselines = []
     for name in names:
         print(f"\n=== {name} " + "=" * (68 - len(name)))
         out = ALL[name].run(quick=args.quick)
         if not out["check"].passed:
             failed.append(name)
+        if args.json_out is not None:
+            from .baseline import (build_baseline, default_baseline_path,
+                                   write_baseline)
+            from .experiments.common import resolve_profile
+            profile = resolve_profile(None, args.quick)
+            doc = build_baseline(name, profile.name, out["results"],
+                                 checks_passed=out["check"].passed,
+                                 quick=args.quick)
+            target = args.json_out
+            if target == "":
+                path = default_baseline_path(name)
+            elif Path(target).is_dir():
+                path = default_baseline_path(name, target)
+            elif len(names) > 1:
+                # one file per experiment even when a file path was given
+                p = Path(target)
+                path = p.with_name(f"{p.stem}.{name}{p.suffix or '.json'}")
+            else:
+                path = Path(target)
+            write_baseline(doc, path)
+            baselines.append(path)
 
     if args.trace:
         paths = written_traces()
@@ -73,6 +104,11 @@ def main(argv=None) -> int:
                 print()
                 print(attribution_report(spans, title=p))
         set_trace_output(None)
+    if args.json_out is not None:
+        set_telemetry(False)
+        print(f"\n{len(baselines)} baseline file(s) written:")
+        for p in baselines:
+            print(f"  {p}")
     if failed:
         print(f"\nFAILED shape checks: {failed}", file=sys.stderr)
         return 1

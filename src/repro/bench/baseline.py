@@ -1,0 +1,154 @@
+"""Bench baseline store: schema-versioned ``BENCH_<exp>.json`` documents.
+
+``python -m repro.bench <exp> --json`` summarises every cell of an
+experiment into one JSON document — throughput, tail latency, stall
+books, and the per-rule health summary from the telemetry layer — that
+``python -m repro.obs compare`` diffs against a later run.  This is the
+ROADMAP's "measurably faster" trajectory: optimisations land with a
+before/after pair of these files.
+
+The document shape is pinned by ``bench_schema.json`` (checked in next to
+this module) and validated by :func:`validate_schema`, a dependency-free
+interpreter of the JSON-Schema subset the schema uses — the container
+image has no ``jsonschema`` package, and the subset keeps us honest about
+what the schema can express.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "cell_metrics",
+           "build_baseline", "write_baseline", "load_schema",
+           "validate_schema", "default_baseline_path"]
+
+SCHEMA_NAME = "repro-bench-baseline"
+SCHEMA_VERSION = 1
+_SCHEMA_PATH = Path(__file__).with_name("bench_schema.json")
+
+
+def cell_metrics(result) -> dict:
+    """Flatten one RunResult into the baseline's per-cell record."""
+    return {
+        "write_throughput_ops": float(result.write_throughput_ops),
+        "read_throughput_ops": float(result.read_throughput_ops),
+        "write_p99_us": float(result.write_p99_us),
+        "total_stall_time": float(result.total_stall_time),
+        "stall_events": int(result.stall_events),
+        "slowdown_events": int(result.slowdown_events),
+        "total_delayed_time": float(result.total_delayed_time),
+        "cpu_utilization": float(result.cpu_utilization),
+        "efficiency": float(result.efficiency),
+        "duration": float(result.duration),
+        "write_ops": int(result.write_ops),
+        "read_ops": int(result.read_ops),
+        "health": {k: int(v) for k, v in result.health_summary().items()},
+    }
+
+
+def build_baseline(experiment: str, profile: str, results: dict,
+                   checks_passed: bool, quick: bool = False) -> dict:
+    """Assemble the document for one experiment's ``{label: RunResult}``."""
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "profile": profile,
+        "quick": quick,
+        "checks_passed": bool(checks_passed),
+        "cells": {label: cell_metrics(r)
+                  for label, r in sorted(results.items())},
+    }
+
+
+def default_baseline_path(experiment: str,
+                          directory: Union[str, Path, None] = None) -> Path:
+    base = Path(directory) if directory else Path(".")
+    return base / f"BENCH_{experiment}.json"
+
+
+def write_baseline(doc: dict, path: Union[str, Path]) -> Path:
+    """Validate against the checked-in schema, then write."""
+    errors = validate_schema(doc, load_schema())
+    if errors:
+        raise ValueError("baseline does not match bench_schema.json: "
+                         + "; ".join(errors[:5]))
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_schema() -> dict:
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+# -- JSON-Schema subset interpreter -----------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, tname: str) -> bool:
+    if tname == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if tname == "integer":
+        return (isinstance(value, int) and not isinstance(value, bool)) or (
+            isinstance(value, float) and value.is_integer())
+    return isinstance(value, _TYPES[tname])
+
+
+def validate_schema(value, schema: dict, path: str = "$") -> list:
+    """Validate ``value`` against a JSON-Schema subset; returns a list of
+    error strings (empty = valid).
+
+    Supported keywords: ``type`` (str or list), ``const``, ``enum``,
+    ``minimum``/``maximum``, ``required``, ``properties``,
+    ``additionalProperties`` (bool or schema), ``items``.  Anything else
+    in the schema is ignored, so keep ``bench_schema.json`` inside this
+    subset.
+    """
+    errors: list[str] = []
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, "
+                      f"got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']!r}")
+    if "type" in schema:
+        tnames = schema["type"]
+        if isinstance(tnames, str):
+            tnames = [tnames]
+        if not any(_type_ok(value, t) for t in tnames):
+            errors.append(f"{path}: expected type {'/'.join(tnames)}, "
+                          f"got {type(value).__name__}")
+            return errors   # deeper checks are meaningless on a type miss
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required property {req!r}")
+        props = schema.get("properties", {})
+        addl = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            kpath = f"{path}.{key}"
+            if key in props:
+                errors.extend(validate_schema(sub, props[key], kpath))
+            elif addl is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(addl, dict):
+                errors.extend(validate_schema(sub, addl, kpath))
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate_schema(item, schema["items"],
+                                          f"{path}[{i}]"))
+    return errors

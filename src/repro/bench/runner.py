@@ -20,7 +20,7 @@ from ..core import KvaccelDb, RollbackConfig
 from ..device import CpuModel, HybridSsd
 from ..lsm import DbImpl
 from ..metrics import RunCollector, RunResult
-from ..obs import Tracer, write_chrome_trace
+from ..obs import HealthMonitor, TelemetryHub, Tracer, default_rules, write_chrome_trace
 from ..sim import Environment
 from ..workload import (
     DriverConfig,
@@ -33,7 +33,7 @@ from ..workload import (
 from .profiles import ExperimentProfile
 
 __all__ = ["RunSpec", "run_workload", "build_system",
-           "set_trace_output", "written_traces"]
+           "set_trace_output", "written_traces", "set_telemetry"]
 
 SYSTEMS = ("rocksdb", "adoc", "kvaccel")
 
@@ -61,6 +61,18 @@ def set_trace_output(path: Optional[str]) -> None:
 def written_traces() -> list:
     """Trace files written since the last :func:`set_trace_output`."""
     return list(_written)
+
+
+# Module-level telemetry switch (same pattern as trace routing): the bench
+# CLI flips it on for ``--json`` so every cell carries per-second channels
+# and health events without threading arguments through the experiments.
+_TELEMETRY_ENABLED = False
+
+
+def set_telemetry(enabled: bool) -> None:
+    """Enable/disable telemetry+health for subsequent run_workload calls."""
+    global _TELEMETRY_ENABLED
+    _TELEMETRY_ENABLED = bool(enabled)
 
 
 def _cell_trace_path(base: str, label: str) -> str:
@@ -146,6 +158,9 @@ def run_workload(
     profile: ExperimentProfile,
     tracer: Optional[Tracer] = None,
     trace_path: Optional[str] = None,
+    telemetry: bool = False,
+    health_rules: Optional[list] = None,
+    sample_callback=None,
 ) -> RunResult:
     """Run one experiment cell and return its RunResult.
 
@@ -153,6 +168,14 @@ def run_workload(
     ``trace_path`` additionally writes a Chrome trace there.  With neither,
     the module-level :func:`set_trace_output` path (if any) applies, one
     file per cell.
+
+    ``telemetry=True`` (or the module-level :func:`set_telemetry` switch,
+    or passing ``health_rules``/``sample_callback``) runs a
+    :class:`TelemetryHub` at the profile's sample period alongside the
+    workload.  ``health_rules`` (default: the built-in set parameterised
+    from the profile) are monitored per bucket and the RunResult carries
+    ``telemetry`` + ``health_events``.  ``sample_callback(t, sample)`` is
+    invoked per closed bucket — the live dashboard's feed.
     """
     env = Environment()
     cell_path = trace_path
@@ -162,6 +185,22 @@ def run_workload(
         tracer = Tracer()
     if tracer is not None:
         tracer.install(env)
+    hub = None
+    if (telemetry or _TELEMETRY_ENABLED or health_rules is not None
+            or sample_callback is not None):
+        hub = TelemetryHub(env, period=profile.sample_period)
+    monitor = None
+    if hub is not None:
+        hub.install(env)
+        rules = (health_rules if health_rules is not None
+                 else default_rules(
+                     period=profile.sample_period,
+                     device_peak_bw=profile.device_peak_bw,
+                     delayed_write_rate=profile.options.delayed_write_rate,
+                     value_size=profile.value_size))
+        monitor = HealthMonitor(hub, rules)
+        if sample_callback is not None:
+            hub.on_sample(sample_callback)
     db, ssd, cpu = build_system(env, profile, spec)
     wl = WORKLOADS[spec.workload]
     duration = spec.duration if spec.duration is not None else profile.duration
@@ -203,6 +242,8 @@ def run_workload(
     env.run(until=proc)
     env.run(until=env.now + profile.sample_period)  # flush last bucket
     collector.stop()
+    if hub is not None:
+        hub.stop(flush=True)
 
     main = _main_db(db)
     result = collector.result(
@@ -225,6 +266,12 @@ def run_workload(
     if isinstance(driver, SeekRandomDriver):
         result.extra["seeks"] = driver.seeks
         result.extra["entries_scanned"] = driver.entries_scanned
+    if hub is not None:
+        result.telemetry = hub.export()
+        result.extra["telemetry_hub"] = hub
+        if monitor is not None:
+            result.health_events = [e.to_dict() for e in monitor.events]
+            result.extra["health_monitor"] = monitor
     db.close()
     if tracer is not None:
         tracer.close_open_spans()

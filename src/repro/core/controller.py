@@ -48,6 +48,10 @@ class KvaccelController:
         # suspended so the Dev-LSM reset cannot drop late arrivals.
         self.rollback_in_progress = False
         self._last_route: Optional[str] = None
+        tel = env.telemetry
+        if tel is not None:
+            tel.rate("ctl.redirected")
+            tel.rate("ctl.normal")
 
     def _route(self, to: str) -> None:
         """Trace an interface switch (main<->dev) on route changes."""
@@ -78,6 +82,9 @@ class KvaccelController:
                 triples.append((key, seq, value))
             yield from self.kv.put_batch(triples)
             self.redirected_writes += len(triples)
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.add("ctl.redirected", len(triples))
             # Redirected writes complete too — record their latency in the
             # same books as Main-LSM writes so P99 covers the whole system.
             self.main.stats.record_write_latency(self.env.now - t0,
@@ -91,6 +98,9 @@ class KvaccelController:
                     self.metadata.remove(key)  # Main-LSM copy becomes newest
             yield from self.main.put_batch(pairs)
             self.normal_writes += len(pairs)
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.add("ctl.normal", len(pairs))
 
     def delete(self, key: bytes) -> Generator:
         self.last_write_time = self.env.now

@@ -43,6 +43,10 @@ class WriteStallDetector:
         self._last_change = env.now
         self._stopped = False
         self.process = env.process(self._run(), name="kvaccel-detector")
+        tel = env.telemetry
+        if tel is not None:
+            tel.gauge("detector.stall_condition",
+                      lambda: 1.0 if self.stall_condition else 0.0)
 
     def evaluate(self) -> bool:
         """One synchronous check (also used by tests and the controller

@@ -56,10 +56,14 @@ def recover_after_crash(controller: KvaccelController,
         if current is None or e[1] > current[1]:
             entries.append(e)
     nbytes = 0
+    tel = env.telemetry
     for i in range(0, len(entries), merge_batch):
         chunk = entries[i:i + merge_batch]
-        nbytes += sum(entry_size(e) for e in chunk)
+        chunk_bytes = sum(entry_size(e) for e in chunk)
+        nbytes += chunk_bytes
         yield from controller.main.write_entries(chunk)
+        if tel is not None:
+            tel.add("recovery.entries", len(chunk))
         if env.faults is not None:
             touch(env, "recovery.merge.batch")
     yield from controller.kv.reset()

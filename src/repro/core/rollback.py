@@ -70,6 +70,12 @@ class RollbackManager:
         self.in_progress = False
         self._stopped = False
         self.process = env.process(self._run(), name="kvaccel-rollback")
+        tel = env.telemetry
+        if tel is not None:
+            tel.gauge("rollback.active",
+                      lambda: 1.0 if self.in_progress else 0.0)
+            tel.rate("rollback.entries")
+            tel.rate("rollback.bytes")
 
     def stop(self) -> None:
         """Stop the scheduler thread.
@@ -139,10 +145,17 @@ class RollbackManager:
                 touch(self.env, "rollback.scan.done")
             nbytes = 0
             batch = self.config.merge_batch
+            tel = self.env.telemetry
             for i in range(0, len(entries), batch):
                 chunk = entries[i:i + batch]
-                nbytes += sum(entry_size(e) for e in chunk)
+                chunk_bytes = sum(entry_size(e) for e in chunk)
+                nbytes += chunk_bytes
                 yield from controller.main.write_entries(chunk)
+                if tel is not None:
+                    # Per-batch so progress lands in the bucket it happened
+                    # in — the rollback-convergence rule watches this.
+                    tel.add("rollback.entries", len(chunk))
+                    tel.add("rollback.bytes", chunk_bytes)
                 if self.env.faults is not None:
                     touch(self.env, "rollback.merge.batch")
             controller.metadata.clear()

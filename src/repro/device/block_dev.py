@@ -71,7 +71,7 @@ class BlockDevice:
         self._pages(offset, nbytes)  # bounds check
         self.bytes_read += nbytes
         yield from self.nand.io("read", nbytes, priority=priority)
-        yield from self.pcie.transfer(nbytes)
+        yield from self.pcie.transfer(nbytes, direction="rx")
 
     def trim(self, offset: int, nbytes: int) -> None:
         """Discard an extent (file deletion punches holes here)."""

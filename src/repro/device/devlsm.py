@@ -133,6 +133,11 @@ class DevLsm:
         self._next_lpn = self._region.lpn_start
         self.flush_count = 0
         self.compaction_count = 0
+        tel = env.telemetry
+        if tel is not None:
+            tel.gauge("devlsm.bytes", lambda: self.total_bytes)
+            tel.gauge("devlsm.entries", lambda: self.entry_count)
+            tel.gauge("devlsm.runs", lambda: len(self.runs))
 
     # -- capacity / stats ------------------------------------------------
     @property
@@ -342,7 +347,7 @@ class DevLsm:
         remaining = total
         while remaining > 0:
             this = min(chunk, remaining)
-            yield from pcie.transfer(this)
+            yield from pcie.transfer(this, direction="rx")
             remaining -= this
         return merged
 

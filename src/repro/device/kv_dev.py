@@ -58,6 +58,9 @@ class KvDevice:
     def _count(self, verb: str) -> None:
         self.command_counts[verb] = self.command_counts.get(verb, 0) + 1
         self.host_cpu.charge(self.config.host_submit_cost, tag="nvme_kv")
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.add("kv.commands")
 
     def _submit(self, site: str) -> Generator:
         """Probe the per-verb submission fault site; returns the fired
@@ -152,7 +155,8 @@ class KvDevice:
         yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
         entry = yield from self.devlsm.get(key)
         if entry is not None:
-            yield from self.pcie.transfer(value_size(entry[3]))
+            yield from self.pcie.transfer(value_size(entry[3]),
+                                          direction="rx")
         return entry
 
     def exist(self, key: bytes) -> Generator:
@@ -175,7 +179,8 @@ class KvDevice:
         yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
         it.seek(key)
         if it.valid:
-            yield from self.pcie.transfer(entry_size(it.entry()))
+            yield from self.pcie.transfer(entry_size(it.entry()),
+                                          direction="rx")
             return it.entry()
         return None
 
@@ -186,7 +191,8 @@ class KvDevice:
         yield from self.devlsm.iter_next_cost()
         it.next()
         if it.valid:
-            yield from self.pcie.transfer(entry_size(it.entry()))
+            yield from self.pcie.transfer(entry_size(it.entry()),
+                                          direction="rx")
             return it.entry()
         return None
 

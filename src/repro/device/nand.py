@@ -54,6 +54,11 @@ class NandArray:
             self._res = Resource(env, capacity=lanes or 1)
         self.ledger = TrafficLedger(bucket=1.0)
         self.busy_time = 0.0
+        tel = env.telemetry
+        if tel is not None:
+            # Per-bucket busy seconds; divide by the bucket period for the
+            # busy fraction the paper quotes for the Cosmos+ channels.
+            tel.deriv("nand.busy_time", lambda: self.busy_time)
         t = geometry.timing
         self._lat_read = t.t_read
         self._lat_program = t.t_program

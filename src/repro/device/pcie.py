@@ -113,13 +113,20 @@ class BandwidthPipe:
     def service_time(self, nbytes: float) -> float:
         return self.latency + nbytes / self.bandwidth
 
-    def transfer(self, nbytes: float) -> Generator:
-        """Move ``nbytes`` through the pipe (blocking process generator)."""
+    def transfer(self, nbytes: float, direction: str = "tx") -> Generator:
+        """Move ``nbytes`` through the pipe (blocking process generator).
+
+        ``direction`` is accounting-only ("tx" = host->device, "rx" =
+        device->host); the pipe itself is symmetric, but telemetry keeps
+        per-direction byte channels the way PCM reports the link.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        if direction not in ("tx", "rx"):
+            raise ValueError(f"direction must be tx or rx, not {direction!r}")
         tr = self.env.tracer
         _sp = (tr.begin("pcie", f"{self.name}.transfer",
-                        args={"bytes": nbytes})
+                        args={"bytes": nbytes, "dir": direction})
                if tr is not None else None)
         if self.env.faults is not None:
             # Fault site: e.g. "pcie.transfer" (modeled transfer drop/delay).
@@ -132,6 +139,9 @@ class BandwidthPipe:
             self.busy_time += dt
             if self.ledger is not None:
                 self.ledger.record(t0, self.env.now, nbytes)
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.add(f"{self.name}.{direction}_bytes", nbytes)
         if _sp is not None:
             tr.end(_sp)
 
@@ -165,3 +175,9 @@ class PcieLink(BandwidthPipe):
             ledger=TrafficLedger(bucket=bucket),
             name="pcie",
         )
+        tel = env.telemetry
+        if tel is not None:
+            # Pre-declare both directions so an idle link still exports
+            # zero-valued series (the zero-traffic health rule reads them).
+            tel.rate("pcie.tx_bytes")
+            tel.rate("pcie.rx_bytes")

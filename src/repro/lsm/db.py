@@ -115,6 +115,21 @@ class DbImpl:
         self._sched_proc = env.process(self._compaction_scheduler(),
                                        name=f"{name}.compact-sched")
 
+        tel = env.telemetry
+        if tel is not None:
+            # Pressure gauges behind every stall decision, sampled per
+            # bucket; op/byte rates are published inline by the hot paths.
+            tel.gauge("lsm.memtable_bytes", lambda: self.mem.approximate_bytes)
+            tel.gauge("lsm.imm", lambda: len(self.imm))
+            tel.gauge("lsm.l0", lambda: self.versions.current.l0_count)
+            tel.gauge("lsm.pending_bytes",
+                      lambda: self.versions.current.pending_compaction_bytes(
+                          self.options))
+            tel.rate("lsm.write_ops")
+            tel.rate("lsm.read_ops")
+            tel.rate("lsm.flush_bytes")
+            tel.rate("lsm.compaction_bytes")
+
     # ------------------------------------------------------------------ state
     def _stall_stats(self) -> tuple[int, int, int, bool]:
         v = self.versions.current
@@ -221,6 +236,9 @@ class DbImpl:
             touch(self.env, "db.write.applied")
         self.stats.user_writes += len(entries)
         self.stats.user_write_bytes += nbytes
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.add("lsm.write_ops", len(entries))
         if self.mem.approximate_bytes >= opt.write_buffer_size:
             yield from self._switch_memtable()
         if _sp is not None:
@@ -314,6 +332,9 @@ class DbImpl:
             if self.env.faults is not None:
                 touch(self.env, "db.flush.install")
             self.stats.flush_bytes_written += table.file_bytes
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.add("lsm.flush_bytes", table.file_bytes)
         # Retire the memtable + its WAL segment even if it was empty.
         self.imm = [(m, s) for (m, s) in self.imm if m is not mem]
         if self.wal is not None and segment is not None:
@@ -396,6 +417,9 @@ class DbImpl:
         output_bytes = sum(sum(entry_size(e) for e in g) for g in output_groups)
         self.stats.compaction_bytes_read += input_bytes
         self.stats.compaction_bytes_written += output_bytes
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.add("lsm.compaction_bytes", input_bytes + output_bytes)
 
         chunk = opt.compaction_io_chunk
         par = max(1, min(opt.max_subcompactions, opt.max_background_compactions))
@@ -491,6 +515,9 @@ class DbImpl:
             entry = yield from self._get_from_ssts(key)
         self.stats.user_reads += 1
         self.stats.record_read_latency(self.env.now - t0)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.add("lsm.read_ops")
         return entry
 
     def _get_from_ssts(self, key: bytes) -> Generator:

@@ -80,6 +80,23 @@ class WriteController:
         self._stall_reason: Optional[str] = None    # reason latched at entry
         self._stall_span = None                     # open obs span, if traced
 
+        tel = env.telemetry
+        if tel is not None:
+            # wc.state gauge: 0=normal, 1=delayed, 2=stopped (the encoding
+            # repro.obs.rules reads); stall/delayed time as per-bucket
+            # deltas, counting an in-progress stall up to "now" so a
+            # bucket-spanning stall shows in every bucket it covers.
+            codes = {WriteState.NORMAL: 0.0, WriteState.DELAYED: 1.0,
+                     WriteState.STOPPED: 2.0}
+            tel.gauge("wc.state", lambda: codes[self.state])
+            tel.deriv("wc.stall_time", lambda: self.total_stall_time + (
+                (self.env.now - self._stall_start)
+                if self._stall_start is not None else 0.0))
+            tel.deriv("wc.delayed_time", lambda: self.total_delayed_time)
+            tel.gauge("wc.delay_rate", lambda: self.current_delay_rate)
+            tel.rate("wc.stalls")
+            tel.rate("wc.slowdowns")
+
     # -- state machine -----------------------------------------------------
     def _conditions(self) -> tuple[str, str]:
         imm, l0, pending, mem_full = self.stats_fn()
@@ -161,6 +178,9 @@ class WriteController:
         if new_state == WriteState.STOPPED:
             self._stall_start = now
             self.stall_events += 1
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.add("wc.stalls")
             self._stall_reason = new_reason
             self.stall_reason_counts[new_reason] = (
                 self.stall_reason_counts.get(new_reason, 0) + 1)
@@ -177,6 +197,9 @@ class WriteController:
         # entering DELAYED from any other state counts one slowdown instance
         if new_state == WriteState.DELAYED and self.options.slowdown_enabled:
             self.slowdown_events += 1
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.add("wc.slowdowns")
             self.slowdown_reason_counts[new_reason] = (
                 self.slowdown_reason_counts.get(new_reason, 0) + 1)
             self.current_delay_rate = self.options.delayed_write_rate

@@ -48,6 +48,10 @@ class RunResult:
     stall_breakdown: dict = field(default_factory=dict)
     # resources
     cpu_utilization: float = 0.0
+    # telemetry (populated when a TelemetryHub ran alongside the workload):
+    # hub.export() dict and the HealthMonitor's event dicts, in time order
+    telemetry: Optional[dict] = None
+    health_events: list = field(default_factory=list)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -69,6 +73,43 @@ class RunResult:
     @property
     def write_p99_us(self) -> float:
         return self.write_latency["p99"] if self.write_latency else 0.0
+
+    def health_summary(self) -> dict:
+        """Per-rule count of health-rule firings (enter edges)."""
+        out: dict[str, int] = {}
+        for e in self.health_events:
+            if e.get("phase") == "enter":
+                out[e["rule"]] = out.get(e["rule"], 0) + 1
+        return out
+
+    # -- serialization ----------------------------------------------------
+    # ``extra`` is excluded: it holds live objects (snapshots, specs,
+    # profile dataclasses) that have no stable JSON form.  Everything a
+    # baseline or a plot needs is in the declared fields.
+    _JSON_FIELDS = (
+        "name", "duration", "write_ops", "read_ops", "write_bytes",
+        "times", "write_ops_series", "read_ops_series",
+        "pcie_times", "pcie_series", "write_latency", "read_latency",
+        "stall_intervals", "stall_events", "slowdown_events",
+        "total_stall_time", "total_delayed_time", "stall_breakdown",
+        "cpu_utilization", "telemetry", "health_events",
+    )
+
+    def to_json(self) -> dict:
+        doc = {}
+        for f in self._JSON_FIELDS:
+            v = getattr(self, f)
+            if f == "stall_intervals":
+                v = [[t0, t1] for (t0, t1) in v]
+            doc[f] = v
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "RunResult":
+        kwargs = {f: doc[f] for f in cls._JSON_FIELDS if f in doc}
+        kwargs["stall_intervals"] = [
+            (t0, t1) for (t0, t1) in kwargs.get("stall_intervals", [])]
+        return cls(**kwargs)
 
 
 class RunCollector:

@@ -39,13 +39,28 @@ class StallPcieStats:
 
 def _stall_bucket_mask(times: Sequence[float], bucket: float,
                        stall_intervals: Sequence[tuple]) -> np.ndarray:
-    """Boolean mask: bucket i (ending at times[i]) overlaps a stall."""
+    """Boolean mask: bucket i (ending at times[i]) overlaps a stall.
+
+    Both inputs may be empty — a run that never stalls (any healthy
+    KVACCEL cell) yields an all-False mask, never an error.
+    """
     t = np.asarray(times, dtype=float)
-    starts = t - bucket
     mask = np.zeros(len(t), dtype=bool)
+    if len(t) == 0 or len(stall_intervals) == 0:
+        return mask
+    starts = t - bucket
     for s0, s1 in stall_intervals:
+        if s1 < s0:
+            raise ValueError(f"stall interval ends before it starts: "
+                             f"({s0}, {s1})")
         mask |= (starts < s1) & (t > s0)
     return mask
+
+
+def _check_series(times: Sequence[float], traffic: Sequence[float]) -> None:
+    if len(times) != len(traffic):
+        raise ValueError(f"times and traffic length mismatch: "
+                         f"{len(times)} vs {len(traffic)}")
 
 
 def analyze_stall_pcie(times: Sequence[float], traffic: Sequence[float],
@@ -59,6 +74,7 @@ def analyze_stall_pcie(times: Sequence[float], traffic: Sequence[float],
     """
     if capacity <= 0:
         raise ValueError("capacity must be positive")
+    _check_series(times, traffic)
     mask = _stall_bucket_mask(times, bucket, stall_intervals)
     vals = np.asarray(traffic, dtype=float)[mask] / (capacity * bucket)
     zero = int(np.sum(vals <= zero_threshold))
@@ -87,6 +103,7 @@ def zero_traffic_buckets(times: Sequence[float], traffic: Sequence[float],
                          bucket: float = 1.0,
                          zero_threshold_bytes: float = 1024.0) -> int:
     """Count stall-period buckets with (near-)zero link traffic."""
+    _check_series(times, traffic)
     mask = _stall_bucket_mask(times, bucket, stall_intervals)
     vals = np.asarray(traffic, dtype=float)[mask]
     return int(np.sum(vals <= zero_threshold_bytes))

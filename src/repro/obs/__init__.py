@@ -17,7 +17,15 @@ Pieces:
   that the run collector re-plugs its ad-hoc meters onto;
 * exporters — Chrome ``trace_event`` JSON (open in Perfetto or
   ``chrome://tracing``), a JSONL event stream, and a human stall
-  attribution report (``python -m repro.obs report trace.json``).
+  attribution report (``python -m repro.obs report trace.json``);
+* :class:`TelemetryHub` — unified per-second time-series channels every
+  layer publishes into (``env.telemetry``, same no-op-when-off guard);
+* :class:`HealthMonitor` + :func:`default_rules` — windowed SLO
+  predicates (stall storms, zero-traffic-while-stalled, ...) emitting
+  typed :class:`HealthEvent` edges;
+* telemetry exporters — Prometheus text format, CSV, terminal sparkline
+  dashboard (``python -m repro.obs dash``), and bench-baseline
+  comparison (``python -m repro.obs compare A.json B.json``).
 """
 
 from .attribution import (
@@ -35,7 +43,11 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .compare import compare_baselines, format_comparison
+from .exporters import telemetry_to_csv, telemetry_to_prometheus
 from .metrics import Counter, Gauge, MetricRegistry, SimHistogram
+from .rules import HealthEvent, HealthMonitor, HealthRule, default_rules
+from .telemetry import Channel, TelemetryHub
 from .tracer import CounterRecord, InstantRecord, SpanRecord, Tracer
 
 __all__ = [
@@ -58,4 +70,14 @@ __all__ = [
     "stall_attribution",
     "attribution_report",
     "top_spans",
+    "Channel",
+    "TelemetryHub",
+    "HealthEvent",
+    "HealthRule",
+    "HealthMonitor",
+    "default_rules",
+    "telemetry_to_prometheus",
+    "telemetry_to_csv",
+    "compare_baselines",
+    "format_comparison",
 ]

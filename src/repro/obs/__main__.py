@@ -1,8 +1,15 @@
-"""Trace tooling CLI: ``python -m repro.obs {validate,report,top} file...``
+"""Observability CLI: ``python -m repro.obs <command> ...``
 
-``validate`` runs the exporter's own schema check over Chrome-trace JSON
-files (what CI gates on); ``report`` prints the per-stall attribution
-table; ``top`` prints the longest spans per category.
+* ``validate`` — the exporter's schema check over Chrome-trace JSON
+  files (what CI gates on);
+* ``report`` — per-stall attribution tables from a trace;
+* ``top`` — longest spans per category;
+* ``dash`` — run one bench cell with the live telemetry dashboard
+  (``--once`` for a single CI-friendly snapshot);
+* ``compare`` — diff two ``BENCH_<exp>.json`` baselines with tolerance
+  bands; exits non-zero on regressions;
+* ``baseline-validate`` — check baseline files against the checked-in
+  JSON Schema.
 """
 
 from __future__ import annotations
@@ -14,16 +21,7 @@ from .attribution import attribution_report, top_spans
 from .export import load_chrome_trace, spans_from_chrome, validate_chrome_trace
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.obs",
-        description="Inspect and validate Chrome-trace JSON files.")
-    parser.add_argument("command", choices=["validate", "report", "top"])
-    parser.add_argument("files", nargs="+", help="Chrome-trace JSON file(s)")
-    parser.add_argument("-n", type=int, default=5,
-                        help="spans per category for 'top' (default 5)")
-    args = parser.parse_args(argv)
-
+def _trace_files_cmd(args) -> int:
     status = 0
     for path in args.files:
         try:
@@ -54,6 +52,82 @@ def main(argv=None) -> int:
                 for dur, name, t0 in items:
                     print(f"    {dur * 1e3:>10.3f} ms  {name:<32s} @ {t0:.3f}s")
     return status
+
+
+def _compare_cmd(args) -> int:
+    from .compare import (compare_baselines, format_comparison,
+                          load_baseline, regression_count)
+    try:
+        old_doc = load_baseline(args.old)
+        new_doc = load_baseline(args.new)
+        findings = compare_baselines(old_doc, new_doc,
+                                     old_path=args.old, new_path=args.new)
+    except (OSError, ValueError) as exc:
+        print(f"compare failed: {exc}", file=sys.stderr)
+        return 2
+    print(format_comparison(findings, old_path=args.old, new_path=args.new))
+    return 1 if regression_count(findings) else 0
+
+
+def _baseline_validate_cmd(args) -> int:
+    import json
+
+    from ..bench.baseline import load_schema, validate_schema
+    schema = load_schema()
+    status = 0
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+            continue
+        errors = validate_schema(doc, schema)
+        if errors:
+            print(f"{path}: INVALID ({len(errors)} problem(s))")
+            for e in errors[:10]:
+                print(f"  - {e}")
+            status = 1
+        else:
+            n = len(doc.get("cells", {}))
+            print(f"{path}: ok ({n} cell(s))")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace tooling, live dashboard, and baseline compare.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_ in (("validate", "validate Chrome-trace JSON files"),
+                        ("report", "per-stall attribution report"),
+                        ("top", "longest spans per category")):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("files", nargs="+", help="Chrome-trace JSON file(s)")
+        p.add_argument("-n", type=int, default=5,
+                       help="spans per category for 'top' (default 5)")
+        p.set_defaults(func=_trace_files_cmd)
+
+    p = sub.add_parser("dash", help="run one bench cell with the live "
+                                    "telemetry dashboard")
+    from .dash import add_dash_args, run_dash
+    add_dash_args(p)
+    p.set_defaults(func=run_dash)
+
+    p = sub.add_parser("compare", help="diff two BENCH_<exp>.json baselines")
+    p.add_argument("old", help="baseline JSON (the reference)")
+    p.add_argument("new", help="candidate JSON")
+    p.set_defaults(func=_compare_cmd)
+
+    p = sub.add_parser("baseline-validate",
+                       help="validate BENCH_*.json against the schema")
+    p.add_argument("files", nargs="+", help="baseline JSON file(s)")
+    p.set_defaults(func=_baseline_validate_cmd)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

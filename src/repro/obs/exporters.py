@@ -1,0 +1,92 @@
+"""Telemetry exporters: Prometheus text format and CSV.
+
+Both operate on the plain-data view of a hub
+(:meth:`~repro.obs.telemetry.TelemetryHub.export` — ``{"period", "times",
+"channels", "kinds"}``), so they work equally on a live hub, a
+``RunResult.telemetry`` field, or a baseline JSON loaded from disk.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional, Union
+
+__all__ = ["telemetry_to_prometheus", "telemetry_to_csv",
+           "write_telemetry_csv"]
+
+
+def _export_of(telemetry) -> dict:
+    """Accept a TelemetryHub or an already-exported dict."""
+    if hasattr(telemetry, "export"):
+        return telemetry.export()
+    return telemetry
+
+
+def _metric_name(channel: str, prefix: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in channel)
+    return f"{prefix}{safe}"
+
+
+def telemetry_to_prometheus(telemetry, prefix: str = "repro_",
+                            labels: Optional[dict] = None) -> str:
+    """Render the latest state of every channel in Prometheus text format.
+
+    Per channel: a gauge with the last bucket's value, plus a companion
+    ``_total`` counter (cumulative sum) for rate channels.  ``labels``
+    (e.g. ``{"cell": "KVAccel(1)"}``) are attached to every sample.
+    """
+    doc = _export_of(telemetry)
+    kinds = doc.get("kinds", {})
+    times = doc.get("times", [])
+    label_str = ""
+    if labels:
+        inner = ",".join(
+            '{}="{}"'.format(k, str(v).replace('"', '\\"'))
+            for k, v in sorted(labels.items()))
+        label_str = "{" + inner + "}"
+    out = io.StringIO()
+    for channel in sorted(doc.get("channels", {})):
+        series = doc["channels"][channel]
+        name = _metric_name(channel, prefix)
+        last = series[-1] if series else 0.0
+        out.write(f"# HELP {name} repro telemetry channel {channel}\n")
+        out.write(f"# TYPE {name} gauge\n")
+        out.write(f"{name}{label_str} {_fmt(last)}\n")
+        if kinds.get(channel) == "rate":
+            out.write(f"# HELP {name}_total cumulative sum of {channel}\n")
+            out.write(f"# TYPE {name}_total counter\n")
+            out.write(f"{name}_total{label_str} {_fmt(sum(series))}\n")
+    if times:
+        name = f"{prefix}sim_time_seconds"
+        out.write(f"# HELP {name} simulation clock at the last bucket\n")
+        out.write(f"# TYPE {name} gauge\n")
+        out.write(f"{name}{label_str} {_fmt(times[-1])}\n")
+    return out.getvalue()
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def telemetry_to_csv(telemetry) -> str:
+    """Render all channels as one CSV: a ``time`` column plus one column
+    per channel, one row per bucket."""
+    doc = _export_of(telemetry)
+    names = sorted(doc.get("channels", {}))
+    times = doc.get("times", [])
+    out = io.StringIO()
+    out.write(",".join(["time"] + names) + "\n")
+    for i, t in enumerate(times):
+        row = [_fmt(t)]
+        for n in names:
+            series = doc["channels"][n]
+            row.append(_fmt(series[i]) if i < len(series) else "")
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def write_telemetry_csv(telemetry, path: Union[str, "object"]) -> None:
+    with open(path, "w") as fh:
+        fh.write(telemetry_to_csv(telemetry))

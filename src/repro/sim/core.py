@@ -321,6 +321,9 @@ class Environment:
         # Optional repro.obs.Tracer; trace probes follow the same pattern —
         # one attribute read and zero allocations while this stays None.
         self.tracer = None
+        # Optional repro.obs.TelemetryHub; telemetry publishers follow the
+        # same guard, so unmonitored runs stay bit-identical.
+        self.telemetry = None
 
     @property
     def now(self) -> float:

@@ -52,11 +52,35 @@ class PeriodicSampler:
         self.period = period
         self.times: list[float] = []
         self.values: list[float] = []
+        self._t_start = env.now
         self._stopped = False
         self.process: Process = env.process(self._run(), name=name or "sampler")
 
-    def stop(self) -> None:
+    def stop(self, flush: bool = False) -> None:
+        """Stop sampling.  With ``flush=True`` the final partial bucket is
+        recorded at the current sim time instead of being dropped.
+
+        ``flush`` defaults to False because existing series consumers
+        (e.g. the fig11 low-decile floor metric) expect only whole-period
+        buckets; opt in where length agreement with ceil-bucketed series
+        such as ``TrafficLedger.series`` matters.
+        """
         self._stopped = True
+        if flush:
+            self.flush()
+
+    def flush(self) -> bool:
+        """Record the partial bucket since the last tick, if any.
+
+        Returns True if a sample was appended.  A no-op when the clock sits
+        exactly on the last recorded tick, so flushing is idempotent.
+        """
+        last = self.times[-1] if self.times else self._t_start
+        if self.env.now > last:
+            self.times.append(self.env.now)
+            self.values.append(self.fn())
+            return True
+        return False
 
     def _run(self):
         while not self._stopped:

@@ -1,0 +1,109 @@
+"""Edge-case guards for repro.metrics.pcie_stats.
+
+KVACCEL cells that never stall hit the empty-``stall_intervals`` path on
+every analysis call; these tests pin that path (and the other degenerate
+shapes) so Fig 4/5/14 post-processing can never crash on a healthy run.
+"""
+
+import pytest
+
+from repro.metrics.pcie_stats import (
+    StallPcieStats,
+    analyze_stall_pcie,
+    utilization_cdf,
+    zero_traffic_buckets,
+)
+
+CAP = 100.0  # bytes/s capacity for readable utilisation numbers
+
+
+def test_empty_stall_intervals():
+    times = [1.0, 2.0, 3.0]
+    traffic = [10.0, 20.0, 30.0]
+    stats = analyze_stall_pcie(times, traffic, [], CAP)
+    assert stats.stall_buckets == 0
+    assert stats.zero_buckets == 0
+    assert stats.above_90_buckets == 0
+    assert stats.utilizations == []
+    # Zero stall_buckets must not divide by zero.
+    assert stats.zero_fraction == 0.0
+    assert stats.above_90_fraction == 0.0
+    assert zero_traffic_buckets(times, traffic, []) == 0
+
+
+def test_empty_series():
+    stats = analyze_stall_pcie([], [], [(0.0, 5.0)], CAP)
+    assert stats.stall_buckets == 0
+    assert stats.utilizations == []
+    assert zero_traffic_buckets([], [], [(0.0, 5.0)]) == 0
+
+
+def test_empty_series_and_intervals():
+    stats = analyze_stall_pcie([], [], [], CAP)
+    assert stats.stall_buckets == 0
+    xs, cdf = utilization_cdf(stats.utilizations)
+    assert cdf == [0.0] * len(xs)
+
+
+def test_single_bucket_stall():
+    # Stall fully inside bucket 2 (the bucket ending at t=2.0).
+    times = [1.0, 2.0, 3.0]
+    traffic = [100.0, 0.0, 100.0]
+    stats = analyze_stall_pcie(times, traffic, [(1.2, 1.8)], CAP)
+    assert stats.stall_buckets == 1
+    assert stats.zero_buckets == 1
+    assert stats.above_90_buckets == 0
+    assert stats.utilizations == [0.0]
+    assert stats.zero_fraction == 1.0
+    assert zero_traffic_buckets(times, traffic, [(1.2, 1.8)]) == 1
+
+
+def test_single_bucket_stall_busy_link():
+    times = [1.0, 2.0]
+    traffic = [0.0, 95.0]
+    stats = analyze_stall_pcie(times, traffic, [(1.5, 1.6)], CAP)
+    assert stats.stall_buckets == 1
+    assert stats.zero_buckets == 0
+    assert stats.above_90_buckets == 1
+    assert stats.above_90_fraction == 1.0
+
+
+def test_zero_length_interval():
+    # An instantaneous stall still marks the bucket strictly containing it.
+    times = [1.0, 2.0, 3.0]
+    traffic = [10.0, 10.0, 10.0]
+    stats = analyze_stall_pcie(times, traffic, [(1.5, 1.5)], CAP)
+    assert stats.stall_buckets == 1
+
+
+def test_interval_spanning_buckets():
+    times = [1.0, 2.0, 3.0, 4.0]
+    traffic = [50.0, 0.0, 0.0, 50.0]
+    stats = analyze_stall_pcie(times, traffic, [(1.5, 3.5)], CAP)
+    # Buckets ending at 2, 3, 4 all overlap (1.5, 3.5).
+    assert stats.stall_buckets == 3
+    assert stats.zero_buckets == 2
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError, match="mismatch"):
+        analyze_stall_pcie([1.0, 2.0], [10.0], [], CAP)
+    with pytest.raises(ValueError, match="mismatch"):
+        zero_traffic_buckets([1.0], [10.0, 20.0], [])
+
+
+def test_inverted_interval_raises():
+    with pytest.raises(ValueError, match="ends before"):
+        analyze_stall_pcie([1.0, 2.0], [1.0, 2.0], [(3.0, 1.0)], CAP)
+
+
+def test_nonpositive_capacity_raises():
+    with pytest.raises(ValueError, match="capacity"):
+        analyze_stall_pcie([1.0], [1.0], [], 0.0)
+
+
+def test_stats_dataclass_fractions():
+    s = StallPcieStats(stall_buckets=4, zero_buckets=2, above_90_buckets=1,
+                       utilizations=[0.0, 0.0, 0.5, 0.95])
+    assert s.zero_fraction == 0.5
+    assert s.above_90_fraction == 0.25

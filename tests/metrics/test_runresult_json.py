@@ -1,0 +1,66 @@
+"""RunResult JSON round-trip: every declared series survives, including
+stall_breakdown, telemetry, and health_events; ``extra`` (live objects) is
+excluded by design."""
+
+import json
+
+import pytest
+
+from repro.bench.profiles import mini_profile
+from repro.bench.runner import RunSpec, run_workload
+from repro.metrics import RunResult
+
+PROFILE = mini_profile(256)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_workload(RunSpec("rocksdb", "A", 1, slowdown=False),
+                        PROFILE, telemetry=True)
+
+
+def test_round_trip_preserves_every_field(result):
+    doc = json.loads(json.dumps(result.to_json()))
+    back = RunResult.from_json(doc)
+    for f in RunResult._JSON_FIELDS:
+        assert getattr(back, f) == getattr(result, f), f"field {f} mutated"
+
+
+def test_round_trip_series_and_breakdown(result):
+    back = RunResult.from_json(json.loads(json.dumps(result.to_json())))
+    assert back.times == result.times
+    assert back.write_ops_series == result.write_ops_series
+    assert back.read_ops_series == result.read_ops_series
+    assert back.pcie_times == result.pcie_times
+    assert back.pcie_series == result.pcie_series
+    assert back.stall_breakdown == result.stall_breakdown
+    assert back.stall_breakdown, "stall-prone cell must have a breakdown"
+    # Tuples restored so downstream analysis code sees the native shape.
+    assert back.stall_intervals == result.stall_intervals
+    assert all(isinstance(iv, tuple) for iv in back.stall_intervals)
+    assert back.telemetry == result.telemetry
+    assert back.health_events == result.health_events
+    assert back.health_summary() == result.health_summary()
+
+
+def test_derived_properties_survive(result):
+    back = RunResult.from_json(result.to_json())
+    assert back.write_throughput_ops == pytest.approx(
+        result.write_throughput_ops)
+    assert back.write_p99_us == pytest.approx(result.write_p99_us)
+    assert back.efficiency == pytest.approx(result.efficiency)
+
+
+def test_extra_excluded(result):
+    doc = result.to_json()
+    assert "extra" not in doc
+    assert RunResult.from_json(doc).extra == {}
+
+
+def test_minimal_doc():
+    r = RunResult.from_json({"name": "x", "duration": 1.0, "write_ops": 2,
+                             "read_ops": 0, "write_bytes": 8192})
+    assert r.write_throughput_ops == 2.0
+    assert r.telemetry is None
+    assert r.health_events == []
+    assert r.stall_intervals == []

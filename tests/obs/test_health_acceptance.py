@@ -1,0 +1,121 @@
+"""Acceptance for the telemetry + health layer.
+
+* A telemetry-disabled run is bit-identical to the seed behaviour
+  (trajectory equality against an instrumented run of the same cell).
+* The Fig 2 stall-prone cell (RocksDB(1) w/o slowdown) fires both
+  ``stall_storm`` and ``zero_traffic_while_stalled``; the Fig 11 KVACCEL
+  cell fires neither.
+* Hub series agree in length with each other and with the shared axis,
+  and the stall-time channel sums to the controller's books.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.bench.profiles import mini_profile  # noqa: E402
+from repro.bench.runner import RunSpec, run_workload  # noqa: E402
+
+PROFILE = mini_profile(256)
+STALL_RULES = {"stall_storm", "zero_traffic_while_stalled"}
+
+
+@pytest.fixture(scope="module")
+def rocksdb_monitored():
+    """The Fig 2 pathology cell, telemetry + default rules on."""
+    return run_workload(RunSpec("rocksdb", "A", 1, slowdown=False),
+                        PROFILE, telemetry=True)
+
+
+@pytest.fixture(scope="module")
+def kvaccel_monitored():
+    """The Fig 11 KVACCEL cell, telemetry + default rules on."""
+    return run_workload(RunSpec("kvaccel", "A", 1, rollback="disabled"),
+                        PROFILE, telemetry=True)
+
+
+def test_disabled_telemetry_is_bit_identical(rocksdb_monitored):
+    """Telemetry must not perturb the trajectory: a monitored run and a
+    plain run of the same spec agree on every simulated observable."""
+    plain = run_workload(RunSpec("rocksdb", "A", 1, slowdown=False), PROFILE)
+    mon = rocksdb_monitored
+    assert plain.telemetry is None and plain.health_events == []
+    assert plain.write_ops == mon.write_ops
+    assert plain.read_ops == mon.read_ops
+    assert plain.write_bytes == mon.write_bytes
+    assert plain.duration == mon.duration
+    assert plain.times == mon.times
+    assert plain.write_ops_series == mon.write_ops_series
+    assert plain.stall_intervals == mon.stall_intervals
+    assert plain.stall_events == mon.stall_events
+    assert plain.total_stall_time == mon.total_stall_time
+    assert plain.write_latency == mon.write_latency
+
+
+def test_stall_prone_cell_fires_stall_rules(rocksdb_monitored):
+    summary = rocksdb_monitored.health_summary()
+    assert summary.get("stall_storm", 0) >= 1
+    assert summary.get("zero_traffic_while_stalled", 0) >= 1
+    enters = [e for e in rocksdb_monitored.health_events
+              if e["phase"] == "enter"]
+    assert all(e["severity"] == "critical" for e in enters
+               if e["rule"] in STALL_RULES)
+    # Every enter for a rule is eventually followed by a clear or the rule
+    # is still active at run end; phases alternate per rule.
+    for rule in STALL_RULES:
+        phases = [e["phase"] for e in rocksdb_monitored.health_events
+                  if e["rule"] == rule]
+        assert phases[0] == "enter"
+        assert all(a != b for a, b in zip(phases, phases[1:]))
+
+
+def test_kvaccel_cell_fires_no_stall_rules(kvaccel_monitored):
+    summary = kvaccel_monitored.health_summary()
+    assert summary.get("stall_storm", 0) == 0
+    assert summary.get("zero_traffic_while_stalled", 0) == 0
+
+
+def test_hub_series_aligned(rocksdb_monitored):
+    tel = rocksdb_monitored.telemetry
+    assert tel is not None
+    n = len(tel["times"])
+    assert n > 0
+    for name, series in tel["channels"].items():
+        assert len(series) == n, f"channel {name} misaligned"
+    # The final (flushed) bucket ends at the run's horizon.
+    assert tel["times"][-1] == pytest.approx(rocksdb_monitored.duration)
+    assert tel["period"] == pytest.approx(PROFILE.sample_period)
+
+
+def test_core_channels_present(rocksdb_monitored, kvaccel_monitored):
+    base = {"lsm.write_ops", "lsm.memtable_bytes", "lsm.l0",
+            "lsm.pending_bytes", "pcie.tx_bytes", "pcie.rx_bytes",
+            "nand.busy_time", "wc.state", "wc.stall_time"}
+    assert base <= set(rocksdb_monitored.telemetry["channels"])
+    kv_extra = {"ctl.redirected", "ctl.normal", "devlsm.bytes",
+                "detector.stall_condition", "kv.commands"}
+    assert (base | kv_extra) <= set(kvaccel_monitored.telemetry["channels"])
+
+
+def test_stall_time_channel_sums_to_books(rocksdb_monitored):
+    tel = rocksdb_monitored.telemetry
+    assert sum(tel["channels"]["wc.stall_time"]) == pytest.approx(
+        rocksdb_monitored.total_stall_time, rel=1e-9)
+
+
+def test_write_ops_channel_matches_driver(rocksdb_monitored):
+    tel = rocksdb_monitored.telemetry
+    assert sum(tel["channels"]["lsm.write_ops"]) == \
+        rocksdb_monitored.write_ops
+
+
+def test_kvaccel_redirection_visible(kvaccel_monitored):
+    tel = kvaccel_monitored.telemetry
+    redirected = sum(tel["channels"]["ctl.redirected"])
+    assert redirected == kvaccel_monitored.extra["redirected_writes"]
+    assert redirected > 0, "the Fig 11 cell must actually redirect"
