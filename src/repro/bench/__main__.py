@@ -3,7 +3,9 @@
 Usage::
 
     python -m repro.bench                 # list experiments
+    python -m repro.bench --list          # same, explicit
     python -m repro.bench fig12           # run one (default profile)
+    python -m repro.bench fig12 --jobs 4  # cells fan out over 4 workers
     python -m repro.bench all --quick     # everything, quick profile
     REPRO_PROFILE=mini python -m repro.bench fig11
 
@@ -17,7 +19,24 @@ import sys
 from pathlib import Path
 
 from .experiments import ALL
-from .runner import set_telemetry, set_trace_output, written_traces
+from .runner import RunOptions
+
+
+def _list_experiments() -> int:
+    print("available experiments:")
+    for name, module in sorted(ALL.items()):
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:7s} {doc}")
+    return 0
+
+
+def _per_experiment_trace(base: str, name: str, multi: bool) -> str:
+    """With several experiments, splice the name in so files don't collide
+    (cells of different experiments can share labels and indices)."""
+    if not multi:
+        return base
+    p = Path(base)
+    return str(p.with_name(f"{p.stem}.{name}{p.suffix or '.json'}"))
 
 
 def main(argv=None) -> int:
@@ -26,8 +45,14 @@ def main(argv=None) -> int:
         description="Run paper-reproduction experiments.")
     parser.add_argument("experiment", nargs="?",
                         help=f"one of {', '.join(sorted(ALL))}, or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
     parser.add_argument("--quick", action="store_true",
                         help="use the fast mini256 profile")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent cells on N worker processes "
+                             "(results are deterministic and ordered by "
+                             "spec regardless of N)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a Chrome trace per experiment cell "
                              "(open in Perfetto / chrome://tracing)")
@@ -43,32 +68,38 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.report and not args.trace:
         parser.error("--report requires --trace")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    if not args.experiment:
-        print("available experiments:")
-        for name, module in sorted(ALL.items()):
-            doc = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"  {name:7s} {doc}")
-        return 0
+    if args.list or not args.experiment:
+        return _list_experiments()
 
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in ALL]
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print("use --list to see what is available", file=sys.stderr)
         return 2
-
-    if args.trace:
-        set_trace_output(args.trace)
-    if args.json_out is not None:
-        set_telemetry(True)
 
     failed = []
     baselines = []
+    traces = []
     for name in names:
         print(f"\n=== {name} " + "=" * (68 - len(name)))
-        out = ALL[name].run(quick=args.quick)
+        options = RunOptions(
+            jobs=args.jobs,
+            trace_path=(_per_experiment_trace(args.trace, name,
+                                              len(names) > 1)
+                        if args.trace else None),
+            telemetry=args.json_out is not None,
+        )
+        out = ALL[name].run(quick=args.quick, options=options)
         if not out["check"].passed:
             failed.append(name)
+        # Microbench experiments (tab06, sec6d) return no per-cell results.
+        traces.extend(r.extra["trace_path"]
+                      for r in out.get("results", {}).values()
+                      if "trace_path" in r.extra)
         if args.json_out is not None:
             from .baseline import (build_baseline, default_baseline_path,
                                    write_baseline)
@@ -92,20 +123,17 @@ def main(argv=None) -> int:
             baselines.append(path)
 
     if args.trace:
-        paths = written_traces()
-        print(f"\n{len(paths)} trace file(s) written:")
-        for p in paths:
+        print(f"\n{len(traces)} trace file(s) written:")
+        for p in traces:
             print(f"  {p}")
         if args.report:
             from ..obs import (attribution_report, load_chrome_trace,
                                spans_from_chrome)
-            for p in paths:
+            for p in traces:
                 spans = spans_from_chrome(load_chrome_trace(p))
                 print()
                 print(attribution_report(spans, title=p))
-        set_trace_output(None)
     if args.json_out is not None:
-        set_telemetry(False)
         print(f"\n{len(baselines)} baseline file(s) written:")
         for p in baselines:
             print(f"  {p}")

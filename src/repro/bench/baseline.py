@@ -25,13 +25,17 @@ __all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "cell_metrics",
            "validate_schema", "default_baseline_path"]
 
 SCHEMA_NAME = "repro-bench-baseline"
-SCHEMA_VERSION = 1
+# v2 adds per-cell harness-performance fields (wall_clock_s,
+# events_processed, events_per_sec).  They are optional in the schema:
+# they vary run to run, v1 documents stay valid, and byte-identity checks
+# (serial vs --jobs N) strip them before comparing.
+SCHEMA_VERSION = 2
 _SCHEMA_PATH = Path(__file__).with_name("bench_schema.json")
 
 
 def cell_metrics(result) -> dict:
     """Flatten one RunResult into the baseline's per-cell record."""
-    return {
+    out = {
         "write_throughput_ops": float(result.write_throughput_ops),
         "read_throughput_ops": float(result.read_throughput_ops),
         "write_p99_us": float(result.write_p99_us),
@@ -46,6 +50,13 @@ def cell_metrics(result) -> dict:
         "read_ops": int(result.read_ops),
         "health": {k: int(v) for k, v in result.health_summary().items()},
     }
+    # Harness-performance instrumentation (absent on hand-built results).
+    extra = getattr(result, "extra", {}) or {}
+    if "wall_clock_s" in extra:
+        out["wall_clock_s"] = float(extra["wall_clock_s"])
+        out["events_processed"] = int(extra.get("events_processed", 0))
+        out["events_per_sec"] = float(extra.get("events_per_sec", 0.0))
+    return out
 
 
 def build_baseline(experiment: str, profile: str, results: dict,

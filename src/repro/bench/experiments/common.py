@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import multiprocessing
 from typing import Optional
 
 from ..profiles import ExperimentProfile, active_profile, mini_profile
-from ..runner import RunSpec, run_workload
+from ..runner import LIVE_EXTRA_KEYS, RunOptions, RunSpec, run_workload
 
 __all__ = ["resolve_profile", "run_cells"]
 
@@ -24,9 +25,46 @@ def resolve_profile(profile: Optional[ExperimentProfile],
     return active_profile()
 
 
-def run_cells(specs: list, profile: ExperimentProfile) -> dict:
-    """Run every spec and key results by display label."""
+def _cell_worker(payload):
+    """Run one cell in a worker process (module-level for picklability).
+
+    Live objects (tracer / telemetry hub / health monitor) hold Environment
+    references and cannot cross the process boundary; the data they back
+    (``result.telemetry``, ``result.health_events``, the written trace
+    file) already lives on the RunResult, so workers strip the objects.
+    """
+    idx, spec, profile, options = payload
+    result = run_workload(spec, profile, options=options, cell_index=idx)
+    for key in LIVE_EXTRA_KEYS:
+        result.extra.pop(key, None)
+    return idx, result
+
+
+def run_cells(specs: list, profile: ExperimentProfile,
+              options: Optional[RunOptions] = None) -> dict:
+    """Run every spec and key results by display label.
+
+    With ``options.jobs > 1`` independent cells fan out over worker
+    processes.  Each cell is a self-contained simulation with its own
+    Environment and seed, so the per-cell results — and therefore the
+    merged dict, which is always assembled in spec order — are identical
+    to a serial run (modulo the wall-clock fields in ``extra``).
+    """
+    if options is None:
+        options = RunOptions()
+    payloads = [(i, spec, profile, options) for i, spec in enumerate(specs)]
+    if options.jobs > 1 and len(specs) > 1:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with ctx.Pool(processes=min(options.jobs, len(specs))) as pool:
+            done = pool.map(_cell_worker, payloads)
+        # map() preserves submission order; key by spec order explicitly
+        # anyway so completion order can never leak into the output.
+        by_index = dict(done)
+        return {spec.display: by_index[i] for i, spec in enumerate(specs)}
     results = {}
-    for spec in specs:
-        results[spec.display] = run_workload(spec, profile)
+    for i, spec in enumerate(specs):
+        results[spec.display] = run_workload(spec, profile, options=options,
+                                             cell_index=i)
     return results

@@ -29,7 +29,8 @@ def _zero_buckets(result) -> int:
     return sum(1 for v in vals[warm:] if v / period < 200.0)
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = [
         RunSpec("rocksdb", "A", 1, slowdown=False),
@@ -37,7 +38,7 @@ def run(profile=None, quick: bool = False) -> dict:
         RunSpec("rocksdb", "A", 1, slowdown=True),
         RunSpec("adoc", "A", 1, slowdown=True),
     ]
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
 
     check = shape_check("Fig 2: slowdown removes zero-throughput stalls")
     for system in ("RocksDB(1)", "ADOC(1)"):

@@ -21,7 +21,8 @@ PAPER = {
 }
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = [
         RunSpec("rocksdb", "A", 1, slowdown=False),
@@ -29,7 +30,7 @@ def run(profile=None, quick: bool = False) -> dict:
         RunSpec("adoc", "A", 1, slowdown=False),
         RunSpec("adoc", "A", 1, slowdown=True),
     ]
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
 
     rows = []
     measured = {}

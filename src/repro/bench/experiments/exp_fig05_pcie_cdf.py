@@ -22,13 +22,14 @@ PAPER = {
 }
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = [
         RunSpec("rocksdb", "A", 1, slowdown=False),
         RunSpec("rocksdb", "A", 4, slowdown=False),
     ]
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
 
     stats = {}
     cdfs = {}

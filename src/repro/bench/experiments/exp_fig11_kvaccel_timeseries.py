@@ -29,14 +29,15 @@ def _low_decile_kops(result) -> float:
     return float(vals[:k].mean())
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = [
         RunSpec("rocksdb", "A", 1, slowdown=True),
         RunSpec("adoc", "A", 1, slowdown=True),
         RunSpec("kvaccel", "A", 1, rollback="disabled"),
     ]
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
 
     floors = {label: _low_decile_kops(r) for label, r in results.items()}
 

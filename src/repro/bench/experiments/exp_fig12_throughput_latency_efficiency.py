@@ -29,14 +29,15 @@ PAPER = {
 THREADS = (1, 2, 4)
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = []
     for n in THREADS:
         specs.append(RunSpec("rocksdb", "A", n, slowdown=True))
         specs.append(RunSpec("adoc", "A", n, slowdown=True))
         specs.append(RunSpec("kvaccel", "A", n, rollback="disabled"))
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
 
     def r(system, n):
         name = {"rocksdb": "RocksDB", "adoc": "ADOC", "kvaccel": "KVAccel"}

@@ -24,7 +24,8 @@ PAPER = {
 N_THREADS = 4
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = []
     for wl in ("A", "B", "C"):
@@ -36,7 +37,7 @@ def run(profile=None, quick: bool = False) -> dict:
                              label=f"KVAccel-L/{wl}"))
         specs.append(RunSpec("kvaccel", wl, N_THREADS, rollback="eager",
                              label=f"KVAccel-E/{wl}"))
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
 
     rows = []
     for wl in ("A", "B", "C"):

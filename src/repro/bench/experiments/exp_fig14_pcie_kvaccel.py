@@ -25,13 +25,14 @@ def _zero_fraction_overall(result) -> float:
     return sum(1 for v in tail if v <= 1024.0) / len(tail)
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = [
         RunSpec("rocksdb", "A", 1, slowdown=False),
         RunSpec("kvaccel", "A", 1, rollback="disabled"),
     ]
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
     rdb = results["RocksDB(1) w/o slowdown"]
     kva = results["KVAccel(1)"]
 

@@ -18,7 +18,8 @@ from .common import resolve_profile
 PAPER = {"pairs": 10_000, "seconds": 1.1}
 
 
-def run(profile=None, quick: bool = False, pairs: int = 10_000) -> dict:
+def run(profile=None, quick: bool = False, pairs: int = 10_000,
+        options=None) -> dict:  # options unused: single-env scenario
     profile = resolve_profile(profile, quick)
     if quick:
         pairs = min(pairs, 2_000)

@@ -20,14 +20,15 @@ from .common import resolve_profile, run_cells
 PAPER = {"RocksDB": 302_000, "ADOC": 351_000, "KVAccel": 100_000}
 
 
-def run(profile=None, quick: bool = False) -> dict:
+def run(profile=None, quick: bool = False,
+        options=None) -> dict:
     profile = resolve_profile(profile, quick)
     specs = [
         RunSpec("rocksdb", "D", 4, slowdown=True),
         RunSpec("adoc", "D", 4, slowdown=True),
         RunSpec("kvaccel", "D", 4, rollback="disabled"),
     ]
-    results = run_cells(specs, profile)
+    results = run_cells(specs, profile, options)
 
     rows = []
     thr = {}

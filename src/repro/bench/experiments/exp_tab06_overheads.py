@@ -43,7 +43,8 @@ def _wall_us(fn, n: int = 50_000) -> float:
     return (time.perf_counter() - t0) / n * 1e6
 
 
-def run(profile=None, quick: bool = False, ops: int = 50_000) -> dict:
+def run(profile=None, quick: bool = False, ops: int = 50_000,
+        options=None) -> dict:  # options unused: single-env microbench
     profile = resolve_profile(profile, quick)
     if quick:
         ops = min(ops, 10_000)

@@ -12,6 +12,7 @@ Workloads: Table IV's A-D via the db_bench drivers.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,57 +33,51 @@ from ..workload import (
 )
 from .profiles import ExperimentProfile
 
-__all__ = ["RunSpec", "run_workload", "build_system",
-           "set_trace_output", "written_traces", "set_telemetry"]
+__all__ = ["RunSpec", "RunOptions", "run_workload", "build_system",
+           "cell_trace_path", "PERF_EXTRA_KEYS", "LIVE_EXTRA_KEYS"]
 
 SYSTEMS = ("rocksdb", "adoc", "kvaccel")
 
-# Module-level trace routing: experiments call run_workload without trace
-# arguments, so ``python -m repro.bench fig11 --trace out.json`` sets the
-# base path here and every cell writes ``out.NN.<label>.json``.
-_TRACE_PATH: Optional[str] = None
-_trace_seq = 0
-_written: list = []
+# Wall-clock instrumentation keys written into RunResult.extra by
+# run_workload.  They vary run to run, so baseline comparisons and the
+# serial-vs-parallel identity check must exclude them.
+PERF_EXTRA_KEYS = ("wall_clock_s", "events_processed", "events_per_sec")
+
+# Live objects carried in RunResult.extra for interactive callers (the
+# dashboard, analyze scripts).  They hold Environment references and are
+# not picklable — parallel workers strip them before returning.
+LIVE_EXTRA_KEYS = ("tracer", "telemetry_hub", "health_monitor")
 
 
-def set_trace_output(path: Optional[str]) -> None:
-    """Route subsequent :func:`run_workload` calls through a tracer.
+@dataclass(frozen=True)
+class RunOptions:
+    """Per-invocation orchestration options, threaded through experiments.
 
-    One Chrome trace file is written per cell, the cell label and a
-    sequence number spliced into ``path``'s stem.  Pass ``None`` to turn
-    tracing back off.
+    This replaces the old module-global trace/telemetry switches: every
+    piece of run state is explicit, so cells can fan out over worker
+    processes without sharing mutable module state.
+
+    ``jobs``       — worker processes for independent cells (1 = serial;
+                     results are keyed and ordered by spec regardless).
+    ``trace_path`` — base Chrome-trace path; each cell writes
+                     ``<stem>.NN.<label>.json`` with NN the cell's index
+                     in its experiment's spec order (deterministic under
+                     parallelism, unlike a shared counter).
+    ``telemetry``  — run a TelemetryHub + health monitor per cell.
     """
-    global _TRACE_PATH, _trace_seq
-    _TRACE_PATH = path
-    _trace_seq = 0
-    _written.clear()
+
+    jobs: int = 1
+    trace_path: Optional[str] = None
+    telemetry: bool = False
 
 
-def written_traces() -> list:
-    """Trace files written since the last :func:`set_trace_output`."""
-    return list(_written)
-
-
-# Module-level telemetry switch (same pattern as trace routing): the bench
-# CLI flips it on for ``--json`` so every cell carries per-second channels
-# and health events without threading arguments through the experiments.
-_TELEMETRY_ENABLED = False
-
-
-def set_telemetry(enabled: bool) -> None:
-    """Enable/disable telemetry+health for subsequent run_workload calls."""
-    global _TELEMETRY_ENABLED
-    _TELEMETRY_ENABLED = bool(enabled)
-
-
-def _cell_trace_path(base: str, label: str) -> str:
-    global _trace_seq
-    _trace_seq += 1
+def cell_trace_path(base: str, label: str, seq: int) -> str:
+    """Derive a per-cell trace path from the base path and cell index."""
     safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in label)
     stem, dot, ext = base.rpartition(".")
     if not dot:
-        return f"{base}.{_trace_seq:02d}.{safe}.json"
-    return f"{stem}.{_trace_seq:02d}.{safe}.{ext}"
+        return f"{base}.{seq:02d}.{safe}.json"
+    return f"{stem}.{seq:02d}.{safe}.{ext}"
 
 
 @dataclass
@@ -161,33 +156,42 @@ def run_workload(
     telemetry: bool = False,
     health_rules: Optional[list] = None,
     sample_callback=None,
+    options: Optional[RunOptions] = None,
+    cell_index: int = 0,
 ) -> RunResult:
     """Run one experiment cell and return its RunResult.
 
     ``tracer`` installs a caller-owned tracer on the cell's environment;
     ``trace_path`` additionally writes a Chrome trace there.  With neither,
-    the module-level :func:`set_trace_output` path (if any) applies, one
-    file per cell.
+    ``options.trace_path`` (if set) applies, one file per cell named from
+    ``cell_index`` (the cell's position in its experiment's spec order).
 
-    ``telemetry=True`` (or the module-level :func:`set_telemetry` switch,
-    or passing ``health_rules``/``sample_callback``) runs a
-    :class:`TelemetryHub` at the profile's sample period alongside the
-    workload.  ``health_rules`` (default: the built-in set parameterised
-    from the profile) are monitored per bucket and the RunResult carries
-    ``telemetry`` + ``health_events``.  ``sample_callback(t, sample)`` is
-    invoked per closed bucket — the live dashboard's feed.
+    ``telemetry=True`` (or ``options.telemetry``, or passing
+    ``health_rules``/``sample_callback``) runs a :class:`TelemetryHub` at
+    the profile's sample period alongside the workload.  ``health_rules``
+    (default: the built-in set parameterised from the profile) are
+    monitored per bucket and the RunResult carries ``telemetry`` +
+    ``health_events``.  ``sample_callback(t, sample)`` is invoked per
+    closed bucket — the live dashboard's feed.
+
+    Every result carries wall-clock instrumentation in ``extra``
+    (:data:`PERF_EXTRA_KEYS`): host seconds, kernel events processed, and
+    events/sec — the harness-performance signal tracked by baselines.
     """
+    wall_t0 = time.perf_counter()
     env = Environment()
     cell_path = trace_path
-    if cell_path is None and tracer is None and _TRACE_PATH is not None:
-        cell_path = _cell_trace_path(_TRACE_PATH, spec.display)
+    if (cell_path is None and tracer is None and options is not None
+            and options.trace_path is not None):
+        cell_path = cell_trace_path(options.trace_path, spec.display,
+                                    cell_index + 1)
     if tracer is None and cell_path is not None:
         tracer = Tracer()
     if tracer is not None:
         tracer.install(env)
     hub = None
-    if (telemetry or _TELEMETRY_ENABLED or health_rules is not None
-            or sample_callback is not None):
+    if (telemetry or (options is not None and options.telemetry)
+            or health_rules is not None or sample_callback is not None):
         hub = TelemetryHub(env, period=profile.sample_period)
     monitor = None
     if hub is not None:
@@ -212,6 +216,7 @@ def run_workload(
         value_size=profile.value_size,
         batch_size=profile.batch_size,
         seed=spec.seed,
+        driver_batch=profile.driver_batch,
     )
 
     # Workload D preloads the store before measuring.
@@ -279,5 +284,9 @@ def run_workload(
         if cell_path is not None:
             write_chrome_trace(tracer, cell_path, label=spec.display)
             result.extra["trace_path"] = cell_path
-            _written.append(cell_path)
+    wall = time.perf_counter() - wall_t0
+    events = env.events_scheduled
+    result.extra["wall_clock_s"] = wall
+    result.extra["events_processed"] = events
+    result.extra["events_per_sec"] = events / wall if wall > 0 else 0.0
     return result

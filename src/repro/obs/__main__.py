@@ -55,12 +55,13 @@ def _trace_files_cmd(args) -> int:
 
 
 def _compare_cmd(args) -> int:
-    from .compare import (compare_baselines, format_comparison,
-                          load_baseline, regression_count)
+    from .compare import (DEFAULT_METRICS, PERF_METRICS, compare_baselines,
+                          format_comparison, load_baseline, regression_count)
+    metrics = DEFAULT_METRICS + PERF_METRICS if args.perf else None
     try:
         old_doc = load_baseline(args.old)
         new_doc = load_baseline(args.new)
-        findings = compare_baselines(old_doc, new_doc,
+        findings = compare_baselines(old_doc, new_doc, metrics=metrics,
                                      old_path=args.old, new_path=args.new)
     except (OSError, ValueError) as exc:
         print(f"compare failed: {exc}", file=sys.stderr)
@@ -119,6 +120,10 @@ def main(argv=None) -> int:
     p = sub.add_parser("compare", help="diff two BENCH_<exp>.json baselines")
     p.add_argument("old", help="baseline JSON (the reference)")
     p.add_argument("new", help="candidate JSON")
+    p.add_argument("--perf", action="store_true",
+                   help="also judge harness-performance fields (schema v2: "
+                        "wall_clock_s / events_processed / events_per_sec) "
+                        "with wide tolerance bands")
     p.set_defaults(func=_compare_cmd)
 
     p = sub.add_parser("baseline-validate",

@@ -20,7 +20,7 @@ import json
 from typing import Optional
 
 __all__ = ["MetricSpec", "Finding", "compare_baselines",
-           "format_comparison", "DEFAULT_METRICS"]
+           "format_comparison", "DEFAULT_METRICS", "PERF_METRICS"]
 
 
 class MetricSpec:
@@ -58,6 +58,22 @@ DEFAULT_METRICS = [
                tolerance=0.20, abs_slack=0.5),
     MetricSpec("efficiency", higher_is_better=True,
                tolerance=0.15, abs_slack=0.0),
+]
+
+# Harness-performance metrics (schema v2 cells, opt-in via ``--perf``):
+# wall-clock varies with host load, so the bands are wide — the check is
+# meant to catch the harness getting *structurally* slower (a kernel
+# fast-path regressing, a driver de-batching), not scheduler noise.
+# events_processed is deterministic and gets a tight band: a big jump in
+# kernel events for the same model output usually means an accidental
+# busy-poll somewhere.
+PERF_METRICS = [
+    MetricSpec("events_per_sec", higher_is_better=True,
+               tolerance=0.40, abs_slack=0.0),
+    MetricSpec("wall_clock_s", higher_is_better=False,
+               tolerance=0.50, abs_slack=1.0),
+    MetricSpec("events_processed", higher_is_better=False,
+               tolerance=0.02, abs_slack=100.0),
 ]
 
 

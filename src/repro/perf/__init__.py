@@ -1,0 +1,266 @@
+"""Performance harness: kernel microbenchmarks and suite throughput.
+
+The ROADMAP's north star is a harness that runs "as fast as the hardware
+allows"; this package is how we hold ourselves to that.  It measures two
+things:
+
+* **events/sec** — how fast the DES kernel steps through its heap, via
+  microbenchmarks that isolate the dominant event patterns (Timeout churn,
+  event signalling, process spawn, resource handoff);
+* **cells/min** — how fast the experiment suite completes, by timing
+  ``run_cells`` over a real experiment's specs.
+
+``python -m repro.perf`` runs the microbenchmarks, prints a table, and —
+when a pinned baseline (``benchmarks/PERF_BASELINE.json``, recorded on the
+pre-fast-path kernel) is present — reports the speedup against it.
+``--json`` writes a machine-readable document in the same shape as the
+pinned baseline so CI can archive per-commit numbers.
+
+All benchmarks are *simulated-workload* benchmarks: they drive the real
+:class:`~repro.sim.Environment`, so any kernel change shows up here first.
+Event counts come from ``Environment.events_scheduled`` (every scheduled
+event is processed when ``run()`` drains), which makes events/sec
+comparable across kernel versions regardless of internal pooling.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..sim import Environment, Resource
+
+__all__ = [
+    "PERF_SCHEMA", "PERF_VERSION", "KERNEL_BENCHES", "BenchResult",
+    "bench_timeout_chain", "bench_event_ping_pong", "bench_process_spawn",
+    "bench_resource_handoff", "run_kernel_benches", "bench_suite_cells",
+    "build_perf_doc", "load_perf_doc", "compare_perf", "default_baseline_path",
+]
+
+PERF_SCHEMA = "repro-perf-baseline"
+PERF_VERSION = 1
+
+# Committed pre-change numbers live next to the figure benchmarks.
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def default_baseline_path() -> Path:
+    return _REPO_ROOT / "benchmarks" / "PERF_BASELINE.json"
+
+
+class BenchResult:
+    """One microbenchmark measurement."""
+
+    __slots__ = ("name", "events", "wall_s", "events_per_sec")
+
+    def __init__(self, name: str, events: int, wall_s: float):
+        self.name = name
+        self.events = events
+        self.wall_s = wall_s
+        self.events_per_sec = events / wall_s if wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {"events": int(self.events),
+                "wall_s": float(self.wall_s),
+                "events_per_sec": float(self.events_per_sec)}
+
+
+def _timed(name: str, build: Callable[[], Environment]) -> BenchResult:
+    """Build a populated Environment, drain it, count scheduled events."""
+    env = build()
+    pre = env.events_scheduled
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    return BenchResult(name, env.events_scheduled - pre, wall)
+
+
+def bench_timeout_chain(procs: int = 64, iters: int = 4000) -> BenchResult:
+    """The dominant pattern: N processes looping ``yield env.timeout(d)``.
+
+    This is what every driver, sampler, flush poll, and detector period in
+    the reproduction does, so Timeout allocation + heap churn dominates
+    real experiment wall time.
+    """
+    def build() -> Environment:
+        env = Environment()
+
+        def looper(delay: float):
+            for _ in range(iters):
+                yield env.timeout(delay)
+
+        for i in range(procs):
+            env.process(looper(1.0 + i * 1e-6), name=f"loop{i}")
+        return env
+
+    return _timed("timeout_chain", build)
+
+
+def bench_event_ping_pong(pairs: int = 32, rounds: int = 4000) -> BenchResult:
+    """Two processes per pair signalling each other through bare Events.
+
+    Exercises Event.succeed, callback dispatch, and the already-processed
+    target resume path (WAL group commit and Store handoffs look like
+    this).
+    """
+    def build() -> Environment:
+        env = Environment()
+
+        def ping(ev_in, ev_out):
+            for _ in range(rounds):
+                yield ev_in[0]
+                ev_in[0] = env.event()
+                ev_out[0].succeed()
+
+        def pong(ev_in, ev_out):
+            for _ in range(rounds):
+                ev_out[0].succeed()
+                yield ev_in[0]
+                ev_in[0] = env.event()
+
+        for i in range(pairs):
+            a, b = [env.event()], [env.event()]
+            env.process(ping(a, b), name=f"ping{i}")
+            env.process(pong(b, a), name=f"pong{i}")
+        return env
+
+    return _timed("event_ping_pong", build)
+
+
+def bench_process_spawn(spawns: int = 30000) -> BenchResult:
+    """Spawn/termination churn: short-lived child processes joined by a
+    parent (compaction jobs and fault-sweep runs look like this)."""
+    def build() -> Environment:
+        env = Environment()
+
+        def child():
+            yield env.timeout(0.5)
+            return 1
+
+        def parent():
+            for _ in range(spawns):
+                yield env.process(child())
+
+        env.process(parent(), name="spawner")
+        return env
+
+    return _timed("process_spawn", build)
+
+
+def bench_resource_handoff(workers: int = 16, rounds: int = 1500) -> BenchResult:
+    """FIFO Resource contention (thread pools, NAND channels)."""
+    def build() -> Environment:
+        env = Environment()
+        res = Resource(env, capacity=2)
+
+        def worker():
+            for _ in range(rounds):
+                with res.request() as req:
+                    yield req
+                    yield env.timeout(0.01)
+
+        for i in range(workers):
+            env.process(worker(), name=f"worker{i}")
+        return env
+
+    return _timed("resource_handoff", build)
+
+
+KERNEL_BENCHES: dict[str, Callable[[], BenchResult]] = {
+    "timeout_chain": bench_timeout_chain,
+    "event_ping_pong": bench_event_ping_pong,
+    "process_spawn": bench_process_spawn,
+    "resource_handoff": bench_resource_handoff,
+}
+
+# The headline number the acceptance gate tracks: Timeout churn is what
+# real experiment cells spend their kernel time on.
+HEADLINE_BENCH = "timeout_chain"
+
+
+def run_kernel_benches(names: Optional[list] = None,
+                       repeats: int = 3) -> dict:
+    """Run the selected microbenchmarks; best-of-``repeats`` per bench.
+
+    Best-of (not mean) because scheduling noise only ever slows a run
+    down; the fastest repeat is the closest estimate of the kernel's
+    actual cost.
+    """
+    out: dict[str, BenchResult] = {}
+    for name in names or list(KERNEL_BENCHES):
+        if name not in KERNEL_BENCHES:
+            raise ValueError(f"unknown benchmark {name!r}; "
+                             f"available: {sorted(KERNEL_BENCHES)}")
+        best: Optional[BenchResult] = None
+        for _ in range(max(1, repeats)):
+            r = KERNEL_BENCHES[name]()
+            if best is None or r.wall_s < best.wall_s:
+                best = r
+        out[name] = best
+    return out
+
+
+def bench_suite_cells(experiment: str, quick: bool = True,
+                      jobs: int = 1) -> dict:
+    """Time a full experiment's cells; returns cells/min and events/sec.
+
+    Uses the real experiment specs through the real runner, so driver
+    batching and ``--jobs`` parallelism show up in the number.
+    """
+    from ..bench.experiments import ALL
+    from ..bench.runner import RunOptions
+    if experiment not in ALL:
+        raise ValueError(f"unknown experiment {experiment!r}")
+    t0 = time.perf_counter()
+    out = ALL[experiment].run(quick=quick, options=RunOptions(jobs=jobs))
+    wall = time.perf_counter() - t0
+    results = out["results"]
+    events = sum(int(r.extra.get("events_processed", 0))
+                 for r in results.values())
+    return {
+        "experiment": experiment,
+        "cells": len(results),
+        "wall_s": float(wall),
+        "cells_per_min": len(results) / wall * 60.0 if wall > 0 else 0.0,
+        "events_processed": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "jobs": jobs,
+    }
+
+
+def build_perf_doc(benches: dict, suite: Optional[dict] = None) -> dict:
+    doc = {
+        "schema": PERF_SCHEMA,
+        "version": PERF_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "benches": {k: v.to_dict() for k, v in benches.items()},
+    }
+    if suite is not None:
+        doc["suite"] = suite
+    return doc
+
+
+def load_perf_doc(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != PERF_SCHEMA:
+        raise ValueError(f"{path}: not a {PERF_SCHEMA} document")
+    return doc
+
+
+def compare_perf(baseline: dict, benches: dict) -> dict:
+    """Per-bench speedup of ``benches`` over a baseline document."""
+    out = {}
+    for name, res in benches.items():
+        base = baseline.get("benches", {}).get(name)
+        if not base or not base.get("events_per_sec"):
+            continue
+        out[name] = res.events_per_sec / base["events_per_sec"]
+    return out

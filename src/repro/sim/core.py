@@ -15,6 +15,8 @@ measurements.
 from __future__ import annotations
 
 import heapq
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -59,11 +61,17 @@ class Event:
     through such callbacks.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+    __slots__ = ("env", "callbacks", "_proc", "_value", "_ok", "_state",
+                 "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] = []
+        # Fast slot: the single Process waiting on this event, when that
+        # process is the *only* waiter and the event is a Timeout.  run()
+        # resumes it inline, skipping the _resume trampoline frame; any
+        # further waiters go through the callbacks list as usual.
+        self._proc: Optional["Process"] = None
         self._value: Any = None
         self._ok: bool = True
         self._state = _PENDING
@@ -117,6 +125,11 @@ class Event:
 
     def _run_callbacks(self) -> None:
         self._state = _PROCESSED
+        proc = self._proc
+        if proc is not None:
+            # Registered before anything in the list, so resumes first.
+            self._proc = None
+            proc._resume(self)
         callbacks, self.callbacks = self.callbacks, []
         for cb in callbacks:
             cb(self)
@@ -126,19 +139,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts are the kernel's dominant allocation (every driver loop,
+    sampler tick, and flush poll creates one), so ``Environment.timeout``
+    recycles processed instances through a freelist.  Construction here is
+    flattened (no ``super().__init__`` chain) for the cold path.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
+        self._proc = None
         self._value = value
+        self._ok = True
         self._state = _TRIGGERED
-        env._schedule(self, delay)
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, 1, env._seq, self))
 
 
 class _ProcessResume(Event):
@@ -155,7 +178,8 @@ class Process(Event):
     therefore ``yield proc`` to join it.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_send", "_resume_cb",
+                 "_resume_ev")
 
     def __init__(
         self,
@@ -167,12 +191,18 @@ class Process(Event):
             raise TypeError("Process requires a generator")
         super().__init__(env)
         self._generator = generator
+        self._send = generator.send
+        self._resume_cb = self._resume          # cached: one resume per event
         self._target: Optional[Event] = None  # event the process waits on
         self.name = name or getattr(generator, "__name__", "process")
+        # One reusable resume event bootstraps the process and is recycled
+        # for every immediate resume (already-fired yield targets).  It is
+        # reusable whenever it is not sitting on the heap (_PROCESSED).
         boot = _ProcessResume(env)
         boot._ok = True
         boot._state = _TRIGGERED
-        boot.callbacks.append(self._resume)
+        boot.callbacks.append(self._resume_cb)
+        self._resume_ev = boot
         env._schedule(boot)
 
     @property
@@ -181,68 +211,106 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._state != _PENDING:
             raise SimulationError(f"cannot interrupt dead process {self.name}")
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if self._target is not None:
+            # Detach from the pending target so its firing cannot resume the
+            # process a second time.  If the target already fired, its fast
+            # slot / callbacks list were detached before dispatch, so both
+            # branches miss harmlessly.
+            if self._target._proc is self:
+                self._target._proc = None
+            else:
+                try:
+                    self._target.callbacks.remove(self._resume_cb)
+                except ValueError:
+                    pass
+            self._target = None
         interrupt_ev = _ProcessResume(self.env)
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
         interrupt_ev._state = _TRIGGERED
-        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.callbacks.append(self._resume_cb)
         self.env._schedule(interrupt_ev, priority=True)
 
     # -- internal ------------------------------------------------------
+    def _finish(self, ok: bool, value: Any) -> None:
+        """Terminate: fire this Process-as-Event with the final value."""
+        self._ok = ok
+        self._value = value
+        self._state = _TRIGGERED
+        self._target = None
+        self.env._schedule(self)
+
+    def _resume_processed(self, next_target: Event) -> None:
+        """Wait on an already-fired event: resume again at this timestamp,
+        recycling this process's resume event when it is off-heap."""
+        env = self.env
+        resume = self._resume_ev
+        if resume._state != _PROCESSED:
+            # Still scheduled (e.g. detached by an interrupt at this
+            # timestamp): it cannot carry a second resume.
+            resume = _ProcessResume(env)
+            self._resume_ev = resume
+        else:
+            resume._defused = False
+        resume._ok = next_target._ok
+        resume._value = next_target._value
+        if not next_target._ok:
+            resume._defused = True
+            next_target._defused = True
+        resume._state = _TRIGGERED
+        resume.callbacks.append(self._resume_cb)
+        env._schedule(resume)
+        self._target = resume
+
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:  # e.g. interrupted after normal termination
+        # NOTE: run() inlines this method for the Timeout fast path (one
+        # Python frame per event saved); behavioural changes here must be
+        # mirrored in both run() loop bodies.
+        if self._state != _PENDING:  # e.g. interrupted after termination
             return
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
-                next_target = self._generator.send(event._value)
+                next_target = self._send(event._value)
             else:
                 next_target = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
-            self._ok = True
-            self._value = stop.value
-            self._state = _TRIGGERED
-            self.env._schedule(self)
+            env._active_process = None
+            self._finish(True, stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
-            self._ok = False
-            self._value = exc
-            self._state = _TRIGGERED
-            self.env._schedule(self)
+            env._active_process = None
+            self._finish(False, exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
-        if not isinstance(next_target, Event):
+        # Duck-typed Event check: anything with kernel state and a callback
+        # list is an Event; the try/except costs nothing on the hot path.
+        try:
+            state = next_target._state
+            cbs = next_target.callbacks
+        except AttributeError:
             raise SimulationError(
-                f"process {self.name!r} yielded {next_target!r}, expected an Event"
-            )
-        if next_target._state == _PROCESSED:
-            # Already-fired event: resume immediately (same timestamp).
-            resume = _ProcessResume(self.env)
-            resume._ok = next_target._ok
-            resume._value = next_target._value
-            if not next_target._ok:
-                resume._defused = True
-                next_target._defused = True
-            resume._state = _TRIGGERED
-            resume.callbacks.append(self._resume)
-            self.env._schedule(resume)
-            self._target = resume
+                f"process {self.name!r} yielded {next_target!r}, "
+                f"expected an Event"
+            ) from None
+        if state == _PROCESSED:
+            self._resume_processed(next_target)
+        elif (type(next_target) is Timeout and next_target._proc is None
+                and not cbs):
+            # Sole waiter on a pending Timeout: take the fast slot.  No
+            # defusing needed — a Timeout can never fail.
+            next_target._proc = self
+            self._target = next_target
         else:
             # A waiting process will receive any failure via generator.throw,
             # so the kernel must not re-raise it at callback time.
             next_target._defused = True
-            next_target.callbacks.append(self._resume)
+            cbs.append(self._resume_cb)
             self._target = next_target
 
 
@@ -307,13 +375,26 @@ class AnyOf(_MultiEvent):
         self.succeed(self._results())
 
 
+# Upper bound on recycled Timeout instances kept per Environment.  Sized to
+# cover every concurrently-pending Timeout in real experiments (drivers +
+# samplers + pollers is tens, not hundreds) while bounding idle memory.
+_TIMEOUT_POOL_CAP = 256
+
+
 class Environment:
     """The simulation clock and event queue."""
+
+    # Kernel-hot attributes live in slots (faster loads/stores on the
+    # per-event path); __dict__ stays available for extension layers that
+    # hang state off the env (faults, tracer, telemetry, ...).
+    __slots__ = ("_now", "_heap", "_seq", "_timeout_pool",
+                 "_active_process", "__dict__")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        self._timeout_pool: list[Timeout] = []
         self._active_process: Optional[Process] = None
         # Optional repro.faults.FaultRegistry; fault probes throughout the
         # stack check this slot and are no-ops while it is None.
@@ -332,6 +413,17 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled on this environment.
+
+        Every scheduled event is eventually processed when ``run()`` drains
+        the heap, so this doubles as the processed-event count for
+        events/sec reporting (``repro.perf``, bench baselines) and is
+        stable across kernel-internal changes like event pooling.
+        """
+        return self._seq
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
@@ -357,6 +449,29 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create (or recycle) a :class:`Timeout` firing ``delay`` from now.
+
+        Recycled instances behave identically to fresh ones: the freelist
+        only ever holds processed Timeouts that nothing else references
+        (checked by refcount in :meth:`run`), and scheduling order is
+        governed purely by the (time, priority, seq) key, so pooling
+        cannot perturb the determinism contract.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay: {delay!r}")
+            ev = pool.pop()
+            ev.delay = delay
+            ev._value = value
+            # _ok is not reset: a Timeout can never fail, so it stays True
+            # for the object's whole lifetime, recycled or not.
+            ev._state = _TRIGGERED
+            ev._defused = False
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._heap, (self._now + delay, 1, seq, ev))
+            return ev
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -376,6 +491,10 @@ class Environment:
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
         event._run_callbacks()
+        pool = self._timeout_pool
+        if (type(event) is Timeout and len(pool) < _TIMEOUT_POOL_CAP
+                and sys.getrefcount(event) == 2):  # local var + getrefcount arg
+            pool.append(event)
 
     def peek(self) -> float:
         """Time of the next event, or +inf if the queue is empty."""
@@ -386,6 +505,17 @@ class Environment:
 
         ``until`` may be a timestamp or an Event; with an Event, returns its
         value once it fires.
+
+        The loop inlines :meth:`step` and the event-dispatch body
+        (``Event._run_callbacks``) with every per-step lookup cached in
+        locals — this is the hottest code in the repository, every
+        simulated second of every experiment passes through it.  The two
+        loop variants below must stay semantically in lockstep with
+        ``step()``; determinism (same-timestamp schedule order, interrupt
+        priority) lives entirely in the heap key, which they share.
+
+        Processed Timeouts that nothing else references (refcount check)
+        are recycled into :meth:`timeout`'s freelist.
         """
         stop_event: Optional[Event] = None
         deadline = float("inf")
@@ -396,15 +526,153 @@ class Environment:
             if deadline < self._now:
                 raise ValueError(f"until {deadline} is in the past (now={self._now})")
 
-        while self._heap:
-            if stop_event is not None and stop_event._state == _PROCESSED:
-                break
-            # SimPy semantics: the deadline is exclusive — events scheduled
-            # exactly at `until` are left unprocessed.
-            if self._heap[0][0] >= deadline:
-                self._now = deadline
-                return None
-            self.step()
+        # Per-step lookups hoisted out of the loop.
+        heap = self._heap
+        pop = heappop
+        pool = self._timeout_pool
+        pool_cap = _TIMEOUT_POOL_CAP
+        getrefcount = sys.getrefcount
+        PENDING = _PENDING
+        PROCESSED = _PROCESSED
+        timeout_cls = Timeout
+
+        stopped: list = []
+        if stop_event is not None and stop_event._state != _PROCESSED:
+            # Cheaper than re-reading stop_event._state every iteration:
+            # one sentinel callback flips a local flag when it fires.
+            stop_event.callbacks.append(stopped.append)
+
+        # Two loop variants (no-deadline / deadline) so the per-step body
+        # carries only the checks its mode needs.  Dispatch is identical in
+        # both and splits by event type: Timeouts take the fast path — the
+        # waiting process (fast slot ``_proc``) is resumed *inline*, saving
+        # the Process._resume trampoline frame, and the dead Timeout is
+        # recycled into the freelist; everything else goes through the
+        # generic callback dispatch.  The inline block mirrors
+        # Process._resume — keep the two in lockstep.
+        if deadline == float("inf"):
+            while heap:
+                if stopped and stop_event is not None:
+                    break
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                if type(event) is timeout_cls:
+                    event._state = PROCESSED
+                    proc = event._proc
+                    if proc is not None:
+                        event._proc = None
+                        if proc._state == PENDING:
+                            self._active_process = proc
+                            try:
+                                nt = proc._send(event._value)
+                            except StopIteration as stop:
+                                self._active_process = None
+                                proc._finish(True, stop.value)
+                            except BaseException as exc:
+                                self._active_process = None
+                                proc._finish(False, exc)
+                            else:
+                                self._active_process = None
+                                try:
+                                    nstate = nt._state
+                                    ncbs = nt.callbacks
+                                except AttributeError:
+                                    raise SimulationError(
+                                        f"process {proc.name!r} yielded "
+                                        f"{nt!r}, expected an Event"
+                                    ) from None
+                                if nstate == PROCESSED:
+                                    proc._resume_processed(nt)
+                                elif (type(nt) is timeout_cls
+                                        and nt._proc is None and not ncbs):
+                                    nt._proc = proc
+                                    proc._target = nt
+                                else:
+                                    nt._defused = True
+                                    ncbs.append(proc._resume_cb)
+                                    proc._target = nt
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    # No failure check: a Timeout can never fail.
+                    if (len(pool) < pool_cap
+                            and getrefcount(event) == 2):  # local + arg only
+                        pool.append(event)
+                else:
+                    event._state = PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    if not event._ok and not event._defused:
+                        # Nobody handled the failure: surface it.
+                        raise event._value
+        else:
+            while heap:
+                # SimPy semantics: the deadline is exclusive — events
+                # scheduled exactly at `until` are left unprocessed.
+                if heap[0][0] >= deadline:
+                    self._now = deadline
+                    return None
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                if type(event) is timeout_cls:
+                    event._state = PROCESSED
+                    proc = event._proc
+                    if proc is not None:
+                        event._proc = None
+                        if proc._state == PENDING:
+                            self._active_process = proc
+                            try:
+                                nt = proc._send(event._value)
+                            except StopIteration as stop:
+                                self._active_process = None
+                                proc._finish(True, stop.value)
+                            except BaseException as exc:
+                                self._active_process = None
+                                proc._finish(False, exc)
+                            else:
+                                self._active_process = None
+                                try:
+                                    nstate = nt._state
+                                    ncbs = nt.callbacks
+                                except AttributeError:
+                                    raise SimulationError(
+                                        f"process {proc.name!r} yielded "
+                                        f"{nt!r}, expected an Event"
+                                    ) from None
+                                if nstate == PROCESSED:
+                                    proc._resume_processed(nt)
+                                elif (type(nt) is timeout_cls
+                                        and nt._proc is None and not ncbs):
+                                    nt._proc = proc
+                                    proc._target = nt
+                                else:
+                                    nt._defused = True
+                                    ncbs.append(proc._resume_cb)
+                                    proc._target = nt
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    # No failure check: a Timeout can never fail.
+                    if (len(pool) < pool_cap
+                            and getrefcount(event) == 2):  # local + arg only
+                        pool.append(event)
+                else:
+                    event._state = PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    if not event._ok and not event._defused:
+                        # Nobody handled the failure: surface it.
+                        raise event._value
 
         if stop_event is not None:
             if stop_event._state != _PROCESSED:

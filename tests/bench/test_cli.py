@@ -13,9 +13,26 @@ def test_listing(capsys):
         assert name in out
 
 
+def test_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name, module in ALL.items():
+        assert name in out
+        # one-line description from the module docstring rides along
+        first_line = (module.__doc__ or "").strip().splitlines()[0]
+        assert first_line[:40] in out
+
+
 def test_unknown_experiment(capsys):
     assert main(["nope"]) == 2
-    assert "unknown" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown" in err
+    assert "--list" in err
+
+
+def test_bad_jobs_rejected():
+    with pytest.raises(SystemExit):
+        main(["tab06", "--jobs", "0"])
 
 
 def test_single_experiment_quick(capsys, monkeypatch):
@@ -31,7 +48,8 @@ def test_failed_check_returns_nonzero(monkeypatch, capsys):
         passed = False
 
     fake = type(ALL["tab06"])("fake")
-    fake.run = lambda quick=False: {"check": FakeCheck()}
+    fake.run = lambda quick=False, options=None: {"check": FakeCheck(),
+                                                  "results": {}}
     monkeypatch.setitem(ALL, "fakeexp", fake)
     assert main(["fakeexp"]) == 1
     assert "FAILED" in capsys.readouterr().err

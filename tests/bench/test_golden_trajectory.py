@@ -1,0 +1,40 @@
+"""Pin the exact simulated trajectory of one fig11 cell.
+
+The DES kernel's fast paths (timeout pooling, the inline process-resume
+loop in ``Environment.run``) are allowed to change how *fast* the
+simulator runs, never *what* it computes: same-timestamp scheduling order
+and interrupt priority are part of the determinism contract (MODEL.md).
+This test locks one full KVAccel cell — every sampled series, latency
+percentile, and stall interval — against a JSON snapshot taken before the
+fast paths landed.  If it fails, a kernel change altered the trajectory,
+not just the wall clock; regenerate only when a *model* change is the
+intended cause:
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.bench import RunSpec, mini_profile, run_workload
+    r = run_workload(RunSpec('kvaccel', 'A', 1, rollback='disabled'),
+                     mini_profile(256))
+    with open('tests/data/golden_fig11_cell.json', 'w') as fh:
+        json.dump(r.to_json(), fh, indent=2, sort_keys=True)
+        fh.write('\\n')"
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import RunSpec, mini_profile, run_workload
+
+GOLDEN = Path(__file__).resolve().parents[1] / "data" / "golden_fig11_cell.json"
+
+
+def test_fig11_cell_matches_golden_trajectory():
+    result = run_workload(RunSpec("kvaccel", "A", 1, rollback="disabled"),
+                          mini_profile(256))
+    produced = json.loads(json.dumps(result.to_json()))
+    golden = json.loads(GOLDEN.read_text())
+    assert set(produced) == set(golden)
+    for field in golden:
+        assert produced[field] == golden[field], (
+            f"trajectory diverged in field {field!r} — a kernel or model "
+            f"change altered simulation results, not just speed")

@@ -1,0 +1,73 @@
+"""Serial vs ``--jobs N`` identity for the cell fan-out.
+
+Each experiment cell is a self-contained simulation (own Environment, own
+seed), so running cells on worker processes must produce results identical
+to a serial run: same keys in the same spec order, same metrics, same
+series — only the wall-clock instrumentation in ``extra`` and the live
+objects stripped at the process boundary may differ.
+"""
+
+import dataclasses
+
+from repro.bench import RunSpec, mini_profile
+from repro.bench.experiments.common import run_cells
+from repro.bench.runner import (LIVE_EXTRA_KEYS, PERF_EXTRA_KEYS, RunOptions,
+                                cell_trace_path)
+
+SPECS = [
+    RunSpec("rocksdb", "A", 1, slowdown=False, label="serial-vs-jobs/rocksdb"),
+    RunSpec("kvaccel", "A", 1, rollback="disabled",
+            label="serial-vs-jobs/kvaccel"),
+]
+
+
+def _tiny_profile():
+    # Small enough that the pair of runs stays in test-suite budget.
+    return dataclasses.replace(mini_profile(256), duration=0.6)
+
+
+def _comparable(result) -> dict:
+    doc = result.to_json()
+    doc["extra_keys"] = sorted(
+        k for k in result.extra
+        if k not in PERF_EXTRA_KEYS and k not in LIVE_EXTRA_KEYS
+        and k != "trace_path")
+    return doc
+
+
+def test_jobs2_results_identical_to_serial():
+    profile = _tiny_profile()
+    serial = run_cells(SPECS, profile, RunOptions(jobs=1))
+    fanned = run_cells(SPECS, profile, RunOptions(jobs=2))
+    assert list(serial) == list(fanned) == [s.display for s in SPECS]
+    for label in serial:
+        assert _comparable(serial[label]) == _comparable(fanned[label]), label
+        # Determinism extends to the event count, not just the metrics.
+        assert (serial[label].extra["events_processed"]
+                == fanned[label].extra["events_processed"])
+
+
+def test_workers_strip_live_objects():
+    fanned = run_cells(SPECS, _tiny_profile(), RunOptions(jobs=2))
+    for result in fanned.values():
+        for key in LIVE_EXTRA_KEYS:
+            assert key not in result.extra
+        # ...but keep the perf instrumentation.
+        for key in PERF_EXTRA_KEYS:
+            assert key in result.extra
+
+
+def test_jobs_cap_and_single_cell_stay_serial():
+    # One cell with jobs=4 takes the serial path (nothing to fan out);
+    # live objects are absent only because telemetry/trace are off.
+    profile = _tiny_profile()
+    out = run_cells([SPECS[0]], profile, RunOptions(jobs=4))
+    assert list(out) == [SPECS[0].display]
+    assert out[SPECS[0].display].write_ops > 0
+
+
+def test_cell_trace_path_is_per_cell_and_filesystem_safe():
+    assert cell_trace_path("out/trace.json", "fig11/kvaccel", 3) \
+        == "out/trace.03.fig11_kvaccel.json"
+    assert cell_trace_path("trace", "x", 1) == "trace.01.x.json"
+    assert cell_trace_path("t.json", "cell one!", 1) == "t.01.cell_one_.json"

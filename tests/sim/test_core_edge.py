@@ -174,3 +174,47 @@ def test_container_multiple_waiters_fifo():
     env.process(feeder())
     env.run()
     assert order == ["first", "second"]
+
+
+def test_interrupt_racing_triggered_target_no_double_resume():
+    """Interrupting a process whose target timeout is already in the heap
+    (triggered, same timestamp) must deliver the Interrupt exactly once and
+    never resume the process again when the stale timeout pops."""
+    env = Environment()
+    log = []
+    victim = None
+
+    def interrupter():
+        yield env.timeout(1)
+        victim.interrupt("race")
+
+    def victim_proc():
+        try:
+            yield env.timeout(1)
+            log.append("timeout")
+        except Interrupt as exc:
+            assert exc.cause == "race"
+            log.append("interrupt")
+        # If the stale timeout resumed us a second time, this yield would
+        # receive the wrong event and the trailing marker would misorder.
+        yield env.timeout(10)
+        log.append("done")
+
+    env.process(interrupter())
+    victim = env.process(victim_proc())
+    env.run()
+    assert log == ["interrupt", "done"]
+    assert env.now == 11.0
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    assert not p.is_alive
+    with pytest.raises(SimulationError):
+        p.interrupt("too late")

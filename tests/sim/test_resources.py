@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim import Container, Environment, PriorityResource, Resource, Store
+from repro.sim import (Container, Environment, Interrupt, PriorityResource,
+                       Resource, Store)
 
 
 def test_resource_capacity_enforced():
@@ -266,3 +267,91 @@ def test_store_len():
     s.put("x")
     s.put("y")
     assert len(s) == 2
+
+
+def test_interrupt_while_waiting_on_request():
+    """An Interrupt delivered while queued detaches the waiter; cancelling
+    the request must free the queue slot so later arrivals still get the
+    resource (no leaked grant to a dead waiter)."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+    waiter_proc = None
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def waiter():
+        req = res.request()
+        try:
+            yield req
+            log.append("granted")
+        except Interrupt:
+            req.cancel()
+            log.append("interrupted")
+
+    def poker():
+        yield env.timeout(1)
+        waiter_proc.interrupt("give up")
+
+    def late():
+        yield env.timeout(2)
+        with res.request() as req:
+            yield req
+            log.append("late")
+
+    env.process(holder())
+    waiter_proc = env.process(waiter())
+    env.process(poker())
+    env.process(late())
+    env.run()
+    assert log == ["interrupted", "late"]
+    assert len(res.queue) == 0
+    assert res.users == []
+
+
+def test_interrupted_waiter_grant_not_double_delivered():
+    """If the holder releases at the same instant the waiter is interrupted,
+    the waiter must see exactly one outcome (the Interrupt), and the grant
+    must flow to the next queued request instead."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+    waiter_proc = None
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(1)
+        res.release(req)
+
+    def waiter():
+        req = res.request()
+        try:
+            yield req
+            log.append("granted")
+        except Interrupt:
+            # The grant may have already fired: release() handles both the
+            # still-queued and the just-granted case.
+            req.release()
+            log.append("interrupted")
+
+    def poker():
+        # Interrupt lands at t=1, racing the holder's release.
+        yield env.timeout(1)
+        waiter_proc.interrupt()
+
+    def other():
+        with res.request() as req:
+            yield req
+            log.append("other")
+
+    env.process(holder())
+    waiter_proc = env.process(waiter())
+    env.process(poker())
+    env.process(other())
+    env.run()
+    assert log.count("interrupted") + log.count("granted") == 1
+    assert "other" in log
