@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from ..core import DetectorConfig
 from ..device import DevLsmConfig, HybridSsdConfig, KvDeviceConfig, MiB, NandGeometry
 from ..lsm import LsmOptions
+from ..resil import ResilienceConfig
 
 __all__ = ["ExperimentProfile", "paper_profile", "mini_profile",
            "active_profile"]
@@ -57,6 +59,11 @@ class ExperimentProfile:
     page_cache_bytes: int = 32 * 1024 * MiB   # host RAM share for page cache
     seekrandom_fill_bytes: int = 0
     seekrandom_nexts: int = 1024
+    # None (the default, and what every figure profile uses) leaves the
+    # resilience stack out entirely — retries, degradation tracking and
+    # NAND error modelling all stay off the hot path, so trajectories
+    # match the pinned goldens bit-for-bit.
+    resilience: Optional[ResilienceConfig] = None
 
     def with_options(self, **changes) -> "ExperimentProfile":
         """Copy with LsmOptions fields replaced (threads, slowdown...)."""

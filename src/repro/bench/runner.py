@@ -140,7 +140,8 @@ def build_system(env: Environment, profile: ExperimentProfile, spec: RunSpec):
         db = KvaccelDb(env, opts, ssd, cpu, name="kvaccel",
                        rollback=rb,
                        detector_config=copy.deepcopy(profile.detector),
-                       page_cache_bytes=cache)
+                       page_cache_bytes=cache,
+                       resilience=profile.resilience)
     return db, ssd, cpu
 
 

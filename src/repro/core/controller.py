@@ -19,10 +19,11 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..device.kv_dev import KvDevice
-from ..faults.registry import fault_point
+from ..faults.registry import fault_point, touch
 from ..lsm.db import DbImpl
+from ..resil.errors import DeviceError
 from ..sim import Environment
-from ..types import KIND_DELETE
+from ..types import KIND_DELETE, KIND_PUT, make_entry
 from .detector import WriteStallDetector
 from .metadata import MetadataManager
 
@@ -33,12 +34,18 @@ class KvaccelController:
     """Routes operations between Main-LSM and the Dev-LSM."""
 
     def __init__(self, env: Environment, main: DbImpl, kv: KvDevice,
-                 detector: WriteStallDetector, metadata: MetadataManager):
+                 detector: WriteStallDetector, metadata: MetadataManager,
+                 resil=None):
         self.env = env
         self.main = main
         self.kv = kv
         self.detector = detector
         self.metadata = metadata
+        # Optional repro.resil.DegradationManager.  When set, persistent
+        # Dev-LSM failures flip the system DEGRADED: redirection is
+        # suspended and failed redirected batches fall back to Main-LSM
+        # with their already-allocated sequence numbers, so no ack is lost.
+        self.resil = resil
         self.redirected_writes = 0
         self.normal_writes = 0
         self.dev_reads = 0
@@ -52,6 +59,33 @@ class KvaccelController:
         if tel is not None:
             tel.rate("ctl.redirected")
             tel.rate("ctl.normal")
+
+    def _redirect_allowed(self) -> bool:
+        """Should this write go to the Dev-LSM?"""
+        return (self.detector.stall_condition
+                and not self.rollback_in_progress
+                and (self.resil is None or self.resil.allows_redirect()))
+
+    def _fallback(self, triples: list, exc: DeviceError) -> Generator:
+        """Serve a failed redirected batch from Main-LSM instead.
+
+        The sequence numbers were already allocated, so the entries are
+        written through ``write_entries`` (seq-preserving); the keys are
+        un-marked in the metadata table because their newest copy now
+        lives in Main-LSM.
+        """
+        self.resil.record_error(exc)
+        if self.env.faults is not None:
+            touch(self.env, "resil.fallback")
+        for key, _seq, _value in triples:
+            if not self.metadata.is_empty and self.metadata.contains(key):
+                self.metadata.remove(key)
+        entries = [make_entry(k, s, v,
+                              kind=KIND_DELETE if v is None else KIND_PUT)
+                   for k, s, v in triples]
+        yield from self.main.write_entries(entries)
+        for _ in entries:
+            self.resil.record_fallback()
 
     def _route(self, to: str) -> None:
         """Trace an interface switch (main<->dev) on route changes."""
@@ -70,7 +104,7 @@ class KvaccelController:
         """Route a write batch; the interface choice is the detector's
         latched verdict (refreshed every 0.1 s, paper Section VI-A)."""
         self.last_write_time = self.env.now
-        if self.detector.stall_condition and not self.rollback_in_progress:
+        if self._redirect_allowed():
             self._route("dev")
             if self.env.faults is not None:
                 yield from fault_point(self.env, "ctl.put.redirect")
@@ -80,7 +114,14 @@ class KvaccelController:
                 seq = self.main.next_seq()
                 self.metadata.insert(key)
                 triples.append((key, seq, value))
-            yield from self.kv.put_batch(triples)
+            if self.resil is None:
+                yield from self.kv.put_batch(triples)
+            else:
+                try:
+                    yield from self.kv.put_batch(triples)
+                    self.resil.record_success()
+                except DeviceError as exc:
+                    yield from self._fallback(triples, exc)
             self.redirected_writes += len(triples)
             tel = self.env.telemetry
             if tel is not None:
@@ -104,13 +145,20 @@ class KvaccelController:
 
     def delete(self, key: bytes) -> Generator:
         self.last_write_time = self.env.now
-        if self.detector.stall_condition and not self.rollback_in_progress:
+        if self._redirect_allowed():
             self._route("dev")
             if self.env.faults is not None:
                 yield from fault_point(self.env, "ctl.delete.redirect")
             seq = self.main.next_seq()
             self.metadata.insert(key)  # tombstone lives in Dev-LSM
-            yield from self.kv.delete(key, seq)
+            if self.resil is None:
+                yield from self.kv.delete(key, seq)
+            else:
+                try:
+                    yield from self.kv.delete(key, seq)
+                    self.resil.record_success()
+                except DeviceError as exc:
+                    yield from self._fallback([(key, seq, None)], exc)
             self.redirected_writes += 1
         else:
             self._route("main")
@@ -127,7 +175,15 @@ class KvaccelController:
         if not self.kv.is_empty and self.metadata.contains(key):
             if self.env.faults is not None:
                 yield from fault_point(self.env, "ctl.get.dev")
-            entry = yield from self.kv.get(key)
+            try:
+                entry = yield from self.kv.get(key)
+            except DeviceError as exc:
+                # Do NOT fall back to Main-LSM here: the Dev-LSM holds the
+                # newest copy, so a main read would return stale data.
+                # Surface the error; the degradation manager notes it.
+                if self.resil is not None:
+                    self.resil.record_error(exc)
+                raise
             self.dev_reads += 1
             if entry is None:
                 # metadata said Dev-LSM but a rollback raced us: fall back.

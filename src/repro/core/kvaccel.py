@@ -22,6 +22,7 @@ from ..device.cpu import CpuModel
 from ..device.hybrid import HybridSsd
 from ..lsm.db import DbImpl
 from ..lsm.options import LsmOptions
+from ..resil import DegradationManager, ResilienceConfig, RetryExecutor
 from ..sim import Environment
 from .controller import KvaccelController
 from .detector import DetectorConfig, WriteStallDetector
@@ -47,6 +48,7 @@ class KvaccelDb:
         detector_config: Optional[DetectorConfig] = None,
         metadata_costs: Optional[MetadataCosts] = None,
         disable_slowdown: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
         **db_kw,
     ):
         self.env = env
@@ -57,18 +59,29 @@ class KvaccelDb:
             import copy
             options = copy.deepcopy(options)
             options.slowdown_enabled = False
+        # None keeps every hot path untouched (production trajectories
+        # depend on it); a ResilienceConfig turns on retries around both
+        # device interfaces plus the HEALTHY/DEGRADED/RECOVERING machine.
+        self.resil = (DegradationManager(env, resilience)
+                      if resilience is not None else None)
+        if resilience is not None:
+            ssd.kv.retry = RetryExecutor(env, resilience.retry, name="kv")
+            ssd.block.retry = RetryExecutor(env, resilience.retry,
+                                            name="block")
         self.main = DbImpl(env, options, ssd.block, host_cpu,
                            name=f"{name}.main", **db_kw)
         self.detector = WriteStallDetector(env, self.main, detector_config)
         self.metadata = MetadataManager(host_cpu, metadata_costs)
         self.controller = KvaccelController(env, self.main, ssd.kv,
-                                            self.detector, self.metadata)
+                                            self.detector, self.metadata,
+                                            resil=self.resil)
         rb_config = (rollback if isinstance(rollback, RollbackConfig)
                      else RollbackConfig(scheme=rollback))
         if detector_config is not None:
             rb_config.period = detector_config.period
         self.rollback_manager = RollbackManager(env, self.controller,
-                                                self.detector, rb_config)
+                                                self.detector, rb_config,
+                                                resil=self.resil)
 
     # -- data plane -----------------------------------------------------------
     def put(self, key: bytes, value) -> Generator:
@@ -96,8 +109,16 @@ class KvaccelDb:
 
     def recover(self) -> Generator:
         """Crash-recover the lost metadata table (Section VI-D)."""
+        if self.main.background_error is not None:
+            self.main.resume()
+        if self.resil is not None:
+            self.resil.reset()
         report: RecoveryReport = yield from recover_after_crash(self.controller)
         return report
+
+    def resume(self) -> None:
+        """Clear a latched Main-LSM background error (RocksDB ``Resume``)."""
+        self.main.resume()
 
     def wait_for_quiesce(self, poll: float = 0.01) -> Generator:
         yield from self.main.wait_for_quiesce(poll)
@@ -127,4 +148,12 @@ class KvaccelDb:
             "rollbacks": self.rollback_manager.rollback_count,
             "detector_stall": self.detector.stall_condition,
         })
+        if self.resil is not None:
+            snap.update({
+                "resil_state": self.resil.state,
+                "resil_device_errors": self.resil.device_errors,
+                "resil_fallback_writes": self.resil.fallback_writes,
+                "kv_retries": self.ssd.kv.retry.stats.retries,
+                "block_retries": self.ssd.block.retry.stats.retries,
+            })
         return snap

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..faults.registry import fault_point, touch
+from ..resil.errors import DeviceError
 from ..sim import Environment, Interrupt
 from ..types import entry_size
 from .controller import KvaccelController
@@ -61,11 +62,16 @@ class RollbackManager:
 
     def __init__(self, env: Environment, controller: KvaccelController,
                  detector: WriteStallDetector,
-                 config: RollbackConfig | None = None):
+                 config: RollbackConfig | None = None,
+                 resil=None):
         self.env = env
         self.controller = controller
         self.detector = detector
         self.config = config or RollbackConfig()
+        # Optional repro.resil.DegradationManager.  A DEGRADED system wants
+        # its Dev-LSM drained back into Main-LSM regardless of scheme; a
+        # completed drain moves the state machine to RECOVERING.
+        self.resil = resil
         self.records: list[RollbackRecord] = []
         self.in_progress = False
         self._stopped = False
@@ -96,8 +102,14 @@ class RollbackManager:
     def _should_rollback(self) -> bool:
         if self.in_progress or self.controller.kv.is_empty:
             return False
-        if self.detector.stall_condition:
+        drain = self.resil is not None and self.resil.wants_drain()
+        if self.detector.stall_condition and not drain:
             return False  # only between stalls (paper step 1-2)
+        if drain:
+            # DEGRADED: drain the Dev-LSM now, even under a stall and even
+            # with scheme "disabled" — its contents must reach Main-LSM
+            # before the faulty device interface degrades further.
+            return True
         if self.config.scheme == "eager":
             return True
         if self.config.scheme == "lazy":
@@ -112,7 +124,21 @@ class RollbackManager:
                 if self._stopped or self.controller.main.closed:
                     return
                 if self._should_rollback():
-                    yield from self.rollback_once()
+                    if self.resil is None:
+                        yield from self.rollback_once()
+                    else:
+                        try:
+                            yield from self.rollback_once()
+                        except DeviceError as exc:
+                            # Scan/reset hit the faulty device; note the
+                            # error and retry on the next period instead of
+                            # killing the scheduler thread.
+                            self.resil.record_error(exc)
+                elif (self.resil is not None and self.resil.wants_drain()
+                        and self.controller.kv.is_empty):
+                    # Nothing to drain — the DEGRADED Dev-LSM is already
+                    # empty; move straight to RECOVERING.
+                    self.resil.note_drained()
         except Interrupt:
             return
 
@@ -164,6 +190,8 @@ class RollbackManager:
             yield from controller.kv.reset()
             if self.env.faults is not None:
                 touch(self.env, "rollback.complete")
+            if self.resil is not None:
+                self.resil.note_drained()
             self.records.append(RollbackRecord(
                 start=t0, end=self.env.now, entries=len(entries), bytes=nbytes))
             if _sp is not None:

@@ -33,6 +33,18 @@ class BlockDevice:
         self.page_size = ftl.geometry.page_size
         self.bytes_written = 0
         self.bytes_read = 0
+        # Optional repro.resil.RetryExecutor; None keeps I/O issue direct.
+        # A retried write re-runs the FTL mapping, so the reissued program
+        # lands on freshly allocated pages (how real drives recover from a
+        # program failure).
+        self.retry = None
+
+    def _call(self, factory, site: str) -> Generator:
+        if self.retry is None:
+            result = yield from factory()
+        else:
+            result = yield from self.retry.call(factory, site=site)
+        return result
 
     @property
     def capacity_bytes(self) -> int:
@@ -59,6 +71,10 @@ class BlockDevice:
         matching a simple non-overlapped controller.  ``priority`` is
         honored when the NAND array runs priority scheduling.
         """
+        return self._call(lambda: self._write(offset, nbytes, priority),
+                          "block.write")
+
+    def _write(self, offset: int, nbytes: int, priority: int = 0) -> Generator:
         pages = self._pages(offset, nbytes)
         for lpn in pages:
             self.ftl.write(lpn)
@@ -68,6 +84,10 @@ class BlockDevice:
 
     def read(self, offset: int, nbytes: int, priority: int = 0) -> Generator:
         """Read ``nbytes`` at byte ``offset`` (blocking process generator)."""
+        return self._call(lambda: self._read(offset, nbytes, priority),
+                          "block.read")
+
+    def _read(self, offset: int, nbytes: int, priority: int = 0) -> Generator:
         self._pages(offset, nbytes)  # bounds check
         self.bytes_read += nbytes
         yield from self.nand.io("read", nbytes, priority=priority)

@@ -86,6 +86,15 @@ class Ftl:
         self._data: dict[int, Any] = {}
         self.gc_stats = {"block": GcStats(), "kv": GcStats()}
 
+        # Wear / reliability bookkeeping for the NAND error model
+        # (repro.device.error_model).  Pure counters — they never alter
+        # allocation order or timing, so attaching them is trajectory-free.
+        self.program_counts: dict[int, int] = {}   # block -> pages programmed
+        self.erase_counts: dict[int, int] = {}     # block -> P/E cycles
+        self.retired_blocks: set[int] = set()      # grown bad blocks
+        self.last_programmed_block = _INVALID
+        self.last_erased_block = _INVALID
+
     # -- lookup ----------------------------------------------------------
     @property
     def total_logical_pages(self) -> int:
@@ -110,12 +119,18 @@ class Ftl:
         while True:
             if (region.open_block != _INVALID
                     and region.next_page_in_block < g.pages_per_block):
-                ppn = region.open_block * g.pages_per_block + region.next_page_in_block
+                blk = region.open_block
+                ppn = blk * g.pages_per_block + region.next_page_in_block
                 region.next_page_in_block += 1
+                self.program_counts[blk] = self.program_counts.get(blk, 0) + 1
+                self.last_programmed_block = blk
                 return ppn
             if region.free_blocks:
-                region.open_block = region.free_blocks.pop(0)
-                region.used_blocks.add(region.open_block)
+                blk = region.free_blocks.pop(0)
+                if blk in self.retired_blocks:
+                    continue          # grown bad block: never reused
+                region.open_block = blk
+                region.used_blocks.add(blk)
                 region.next_page_in_block = 0
                 continue
             if tried_gc:
@@ -169,6 +184,27 @@ class Ftl:
             free += g.pages_per_block - region.next_page_in_block
         return free
 
+    # -- reliability ------------------------------------------------------------
+    def retire_block(self, block: int) -> None:
+        """Mark ``block`` as a grown bad block: it is withdrawn from the
+        free pool and never allocated again.  Valid pages it still holds
+        stay mapped (readable) until GC moves them off; the block simply
+        never returns to the pool after its final erase."""
+        if not 0 <= block < self.geometry.total_blocks:
+            raise FtlError(f"block {block} outside device")
+        self.retired_blocks.add(block)
+        for r in self.regions.values():
+            if block in r.free_blocks:
+                r.free_blocks.remove(block)
+            if r.open_block == block:
+                # Close it: remaining free pages in a bad block are unusable.
+                r.open_block = _INVALID
+                r.next_page_in_block = 0
+
+    def wear(self, block: int) -> int:
+        """P/E cycles block has seen (erase count)."""
+        return self.erase_counts.get(block, 0)
+
     # -- garbage collection ----------------------------------------------------
     def _valid_pages_by_block(self, region: Region) -> dict[int, list[int]]:
         g = self.geometry
@@ -200,13 +236,16 @@ class Ftl:
             return  # nothing reclaimable
         region.used_blocks.discard(victim)
         stats.blocks_erased += 1
+        self.erase_counts[victim] = self.erase_counts.get(victim, 0) + 1
+        self.last_erased_block = victim
         # Detach valid pages first so their copies cannot land on the victim.
         moved = []
         for ppn in valid:
             lpn = self._p2l.pop(ppn)
             moved.append((lpn, self._data.pop(ppn, None)))
             self._l2p.pop(lpn, None)
-        region.free_blocks.append(victim)
+        if victim not in self.retired_blocks:
+            region.free_blocks.append(victim)
         for lpn, data in moved:
             new_ppn = self._alloc_ppn(region)
             self._l2p[lpn] = new_ppn

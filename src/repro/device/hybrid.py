@@ -23,6 +23,7 @@ from ..sim import Environment
 from .block_dev import BlockDevice
 from .cpu import CpuModel
 from .devlsm import DevLsm, DevLsmConfig
+from .error_model import NandErrorConfig, NandErrorModel
 from .ftl import Ftl
 from .geometry import MiB, NandGeometry
 from .kv_dev import KvDevice, KvDeviceConfig
@@ -48,6 +49,10 @@ class HybridSsdConfig:
                                             # chunks, like NVMe's weighted queues
     devlsm: DevLsmConfig = field(default_factory=DevLsmConfig)
     kv: KvDeviceConfig = field(default_factory=KvDeviceConfig)
+    # None -> perfect NAND (the default; production trajectories depend
+    # on it).  Set to model wear-driven program/erase failures, grown bad
+    # blocks, and ECC read-retry latency tails.
+    nand_errors: Optional[NandErrorConfig] = None
 
 
 @dataclass
@@ -77,6 +82,9 @@ class HybridSsd:
                               peak_bandwidth=cfg.peak_nand_bandwidth,
                               priority_scheduling=cfg.nand_priority_scheduling)
         self.ftl = Ftl(cfg.geometry, split_fraction=cfg.split_fraction)
+        if cfg.nand_errors is not None:
+            self.nand.error_model = NandErrorModel(env, self.ftl,
+                                                   cfg.nand_errors)
         self.arm = CpuModel(env, cores=cfg.arm_cores, name="arm")
 
         self.block = BlockDevice(env, self.ftl, self.nand, self.pcie)

@@ -54,6 +54,19 @@ class KvDevice:
         # compound commands executed twice by the device.
         self.lost_commands = 0
         self.duplicated_commands = 0
+        # Optional repro.resil.RetryExecutor; None keeps command issue
+        # direct (zero-cost).  With one installed, each verb re-executes
+        # whole on retryable DeviceErrors — at-least-once issue, safe
+        # because every verb is idempotent under same-seq replay.
+        self.retry = None
+
+    def _call(self, factory, site: str) -> Generator:
+        """Dispatch one command through the retry executor when present."""
+        if self.retry is None:
+            result = yield from factory()
+        else:
+            result = yield from self.retry.call(factory, site=site)
+        return result
 
     def _count(self, verb: str) -> None:
         self.command_counts[verb] = self.command_counts.get(verb, 0) + 1
@@ -73,6 +86,9 @@ class KvDevice:
     # -- point commands -----------------------------------------------------
     def put(self, key: bytes, seq: int, value) -> Generator:
         """KV PUT: ship key+value over PCIe, insert into Dev-LSM."""
+        return self._call(lambda: self._put(key, seq, value), "kv.put")
+
+    def _put(self, key: bytes, seq: int, value) -> Generator:
         self._count("put")
         action = yield from self._submit("kv.put.submit")
         if action is not None and action.kind == DROP:
@@ -101,6 +117,9 @@ class KvDevice:
         payload transfer covers the batch; the Dev-LSM still ingests each
         record (per-op ARM cost, flush when the device memtable fills).
         """
+        return self._call(lambda: self._put_batch(triples), "kv.put_batch")
+
+    def _put_batch(self, triples: list) -> Generator:
         self._count("put_batch")
         action = yield from self._submit("kv.put_batch.submit")
         if action is not None and action.kind == DROP:
@@ -127,6 +146,9 @@ class KvDevice:
 
     def delete(self, key: bytes, seq: int) -> Generator:
         """KV DELETE: a tombstone entry in the Dev-LSM."""
+        return self._call(lambda: self._delete(key, seq), "kv.delete")
+
+    def _delete(self, key: bytes, seq: int) -> Generator:
         self._count("delete")
         action = yield from self._submit("kv.delete.submit")
         if action is not None and action.kind == DROP:
@@ -150,6 +172,9 @@ class KvDevice:
 
     def get(self, key: bytes) -> Generator:
         """KV GET: returns the newest entry or None."""
+        return self._call(lambda: self._get(key), "kv.get")
+
+    def _get(self, key: bytes) -> Generator:
         self._count("get")
         yield from self._submit("kv.get.submit")
         yield from self.pcie.transfer(_CAPSULE_BYTES + len(key))
@@ -199,6 +224,9 @@ class KvDevice:
     # -- bulk ops --------------------------------------------------------------
     def bulk_scan(self) -> Generator:
         """Bulky range scan of the whole Dev-LSM (rollback step 3-6)."""
+        return self._call(self._bulk_scan, "kv.bulk_scan")
+
+    def _bulk_scan(self) -> Generator:
         self._count("bulk_scan")
         yield from self._submit("kv.bulk_scan.start")
         tr = self.env.tracer
@@ -214,6 +242,9 @@ class KvDevice:
 
     def reset(self) -> Generator:
         """Reset the Dev-LSM (rollback step 8)."""
+        return self._call(self._reset, "kv.reset")
+
+    def _reset(self) -> Generator:
         self._count("reset")
         yield from self._submit("kv.reset.start")
         yield from self.pcie.transfer(_CAPSULE_BYTES)

@@ -54,6 +54,9 @@ class NandArray:
             self._res = Resource(env, capacity=lanes or 1)
         self.ledger = TrafficLedger(bucket=1.0)
         self.busy_time = 0.0
+        # Optional repro.device.error_model.NandErrorModel; None keeps the
+        # array perfect and the io() path zero-cost (one attribute read).
+        self.error_model = None
         tel = env.telemetry
         if tel is not None:
             # Per-bucket busy seconds; divide by the bucket period for the
@@ -99,6 +102,13 @@ class NandArray:
         if self._res.capacity > 1 and op != "erase":
             lat = {"read": self._lat_read, "program": self._lat_program}[op]
             dt = lat + (dt - lat) * self._res.capacity
+        err = None
+        if self.error_model is not None:
+            # Wear-driven failures + ECC read-retry latency tails.  The
+            # command occupies the media for its (stretched) service time
+            # and then completes with the error status, like real NAND.
+            extra, err = self.error_model.on_io(op, nbytes)
+            dt += extra
         req = (self._res.request(priority=priority) if self.priority_scheduling
                else self._res.request())
         with req:
@@ -107,6 +117,8 @@ class NandArray:
             yield self.env.timeout(dt)
             self.busy_time += dt
             self.ledger.record(t0, self.env.now, nbytes)
+        if err is not None:
+            raise err
         if _sp is not None:
             tr.end(_sp)
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from typing import Generator, Optional
 
-from ..faults.registry import fault_point
+from ..faults.registry import DELAY, touch
 from ..sim import Environment, Resource
 
 __all__ = ["TrafficLedger", "BandwidthPipe", "PcieLink"]
@@ -128,13 +128,20 @@ class BandwidthPipe:
         _sp = (tr.begin("pcie", f"{self.name}.transfer",
                         args={"bytes": nbytes, "dir": direction})
                if tr is not None else None)
+        injected_delay = 0.0
         if self.env.faults is not None:
             # Fault site: e.g. "pcie.transfer" (modeled transfer drop/delay).
-            yield from fault_point(self.env, f"{self.name}.transfer")
+            # DELAY is folded into the service interval below — the slowed
+            # transfer holds the link and the ledger/busy-time/telemetry
+            # attribute its bytes across the stretched window, instead of
+            # the extra latency vanishing between samples.
+            action = touch(self.env, f"{self.name}.transfer")
+            if action is not None and action.kind == DELAY:
+                injected_delay = action.delay
         with self._res.request() as req:
             yield req
             t0 = self.env.now
-            dt = self.service_time(nbytes)
+            dt = self.service_time(nbytes) + injected_delay
             yield self.env.timeout(dt)
             self.busy_time += dt
             if self.ledger is not None:

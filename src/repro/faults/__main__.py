@@ -1,14 +1,25 @@
-"""CLI for the crash-point sweep: ``python -m repro.faults``.
+"""CLI for the fault tooling: ``python -m repro.faults``.
 
-Runs the deterministic harness workload, enumerates every injection site
-it reaches, crashes at each one (bounded by ``--faults-budget``), recovers
-and checks the crash-consistency invariants.  Exit status is non-zero if
-any run violates an invariant, so CI can gate on it directly.
+Three entry points:
+
+* (default)  — the crash-point sweep: run the deterministic harness
+  workload, enumerate every injection site it reaches, crash at each one
+  (bounded by ``--faults-budget``), recover and check the
+  crash-consistency invariants;
+* ``sites``  — print the static fault-site catalogue (``--json`` for
+  machines);
+* ``soak``   — seeded chaos storms against a full resilience-enabled
+  stack (``--mode transient|persistent``), asserting the durability
+  invariants.
+
+Exit status is non-zero if any run violates an invariant, so CI gates on
+all three directly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -24,7 +35,75 @@ def _parse_seed(value: str) -> int:
 _parse_seed.__name__ = "seed"  # argparse: "invalid seed value", not _parse_seed
 
 
+def _sites_main(argv) -> int:
+    from .sites import DYNAMIC_SUFFIXES, KNOWN_SITES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults sites",
+        description="Print the static fault-site catalogue.")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of a site-per-line listing")
+    args = parser.parse_args(argv)
+    sites = sorted(KNOWN_SITES)
+    if args.json:
+        print(json.dumps({"sites": sites,
+                          "dynamic_suffixes": list(DYNAMIC_SUFFIXES)},
+                         indent=2))
+    else:
+        print(f"{len(sites)} static sites "
+              f"(+ dynamic suffixes: {', '.join(DYNAMIC_SUFFIXES)}):")
+        for site in sites:
+            print(f"  {site}")
+    return 0
+
+
+def _soak_main(argv) -> int:
+    from ..resil.soak import SOAK_MODES, SoakConfig, run_soak
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults soak",
+        description="Seeded chaos storm against a resilience-enabled "
+                    "KVACCEL stack.")
+    parser.add_argument("--mode", choices=SOAK_MODES, default="transient",
+                        help="fault storm flavour (default: transient)")
+    parser.add_argument(
+        "--seed", type=_parse_seed,
+        default=_parse_seed(os.environ.get("REPRO_FAULT_SEED",
+                                           str(DEFAULT_SEED))),
+        help="workload/fault seed (default: $REPRO_FAULT_SEED or "
+             f"{DEFAULT_SEED:#x})")
+    parser.add_argument("--ops", type=int, default=400,
+                        help="workload operations (default: 400)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload size multiplier (default: 1)")
+    parser.add_argument("--fault-rate", type=float, default=0.02,
+                        help="per-hit FAIL probability for transient "
+                             "storms (default: 0.02)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the full result (incl. health events) "
+                             "as JSON")
+    args = parser.parse_args(argv)
+    result = run_soak(SoakConfig(mode=args.mode, seed=args.seed,
+                                 ops=args.ops, scale=args.scale,
+                                 fault_rate=args.fault_rate))
+    for line in result.summary_lines():
+        print(line)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"result written to {args.json}")
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch first; the bare invocation stays the crash-point
+    # sweep for backwards compatibility with existing CI pipelines.
+    if argv and argv[0] == "sites":
+        return _sites_main(argv[1:])
+    if argv and argv[0] == "soak":
+        return _soak_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
         description="Deterministic crash-point sweep over a KVACCEL stack.")

@@ -42,6 +42,7 @@ from ..device import (
 )
 from ..lsm import LsmOptions
 from ..obs import Tracer
+from ..resil import DeviceError, ResilienceConfig, TRANSIENT
 from ..sim import Environment, Interrupt
 from ..types import encode_key
 from .oracle import DifferentialOracle, Violation
@@ -149,7 +150,7 @@ class KvaccelFaultHarness:
 
     def __init__(self, seed: int = DEFAULT_SEED, scale: int = 1,
                  recovery: Optional[Callable[[KvaccelDb], Generator]] = None,
-                 trace_tail: int = 0):
+                 trace_tail: int = 0, resilience: bool = False):
         if scale < 1:
             raise ValueError("scale must be >= 1")
         if trace_tail < 0:
@@ -158,6 +159,13 @@ class KvaccelFaultHarness:
         self.scale = scale
         self.trace_tail = trace_tail   # ring-buffer span tail per crash run
         self._recovery = recovery   # None = the real db.recover()
+        # With resilience on, the stack runs the repro.resil layer and the
+        # workload gains two phases: a forced degraded episode (DEGRADED ->
+        # drain -> RECOVERING -> HEALTHY) and a Main-LSM background-error /
+        # resume() episode — exposing the state-machine sites to the crash
+        # sweep.  Off (the default) keeps the trace byte-identical to
+        # previous sweeps.
+        self.resilience = resilience
 
     # -- system construction ----------------------------------------------
     def _build(self, record_trace: bool = False) -> _Run:
@@ -192,8 +200,17 @@ class KvaccelFaultHarness:
             wal_group_commit_bytes=4 * KiB,
             block_size=4 * KiB,
         )
+        resil_cfg = None
+        if self.resilience:
+            # Windows sized to the harness's millisecond timescale so the
+            # RECOVERING -> HEALTHY probation completes inside the script.
+            resil_cfg = ResilienceConfig(degrade_error_threshold=3,
+                                         degrade_window=0.05,
+                                         recover_probation=1e-5,
+                                         recover_min_successes=4)
         db = KvaccelDb(env, options, ssd, cpu, rollback="disabled",
-                       detector_config=DetectorConfig(period=0.002))
+                       detector_config=DetectorConfig(period=0.002),
+                       resilience=resil_cfg)
         # The workload scripts stall windows itself (deterministic site
         # sequence); the polling daemons would only add timer noise.
         db.detector.stop()
@@ -266,6 +283,51 @@ class KvaccelFaultHarness:
         for k in (30, 40, 54):
             yield from self._get(run, encode_key(k))
 
+        if db.resil is None:
+            return
+
+        # Phase 5 — forced degraded episode: admission to the Dev-LSM is
+        # suspended, writes land on Main-LSM despite the stall, a drain
+        # moves DEGRADED -> RECOVERING and redirected probes close the
+        # loop back to HEALTHY.
+        db.detector.stall_condition = True
+        for i in range(10 * s):    # a few redirected writes to strand
+            yield from self._put(run, encode_key(60 + (i % 10)),
+                                 self._value(b"d", i))
+        db.resil.force_degrade()
+        for i in range(10 * s):    # degraded: Main-LSM despite the stall
+            yield from self._put(run, encode_key(70 + (i % 10)),
+                                 self._value(b"e", i))
+        yield from db.rollback_manager.rollback_once()   # drain -> RECOVERING
+        for i in range(10 * s):    # redirected probes -> HEALTHY
+            yield from self._put(run, encode_key(60 + (i % 10)),
+                                 self._value(b"f", i))
+        db.detector.stall_condition = False
+        yield from db.rollback_manager.rollback_once()
+        for k in (60, 65, 70, 75):
+            yield from self._get(run, encode_key(k))
+
+        # Phase 6 — Main-LSM background error: writes are refused while the
+        # DB is read-only, then resume() clears the latch.
+        db.main.set_background_error(DeviceError(
+            TRANSIENT, site="wal.sync", detail="scripted background error"))
+        for i in range(3):
+            key = encode_key(80 + i)
+            value = self._value(b"g", i)
+            run.oracle.begin_put(key, value)
+            try:
+                yield from db.put(key, value)
+            except DeviceError:
+                run.oracle.abort()   # refused at the gate: not committed
+            else:
+                run.oracle.ack()
+        db.main.resume()
+        for i in range(8 * s):
+            yield from self._put(run, encode_key(80 + (i % 8)),
+                                 self._value(b"h", i))
+        for k in (80, 84):
+            yield from self._get(run, encode_key(k))
+
     def _driver(self, run: _Run) -> Generator:
         try:
             yield from self._workload(run)
@@ -290,8 +352,10 @@ class KvaccelFaultHarness:
         """Re-run the workload, crash at the given site hit, recover, and
         check the oracle's crash-consistency invariants."""
         run = self._build()
+        # Sites come from a recorded trace, so they are real by
+        # construction — skip catalogue validation.
         run.registry.arm(site, NthOccurrencePlan(occurrence),
-                         FaultAction(CRASH))
+                         FaultAction(CRASH), validate=False)
         crash_ev = run.registry.new_crash_event(run.env)
         proc = run.env.process(self._driver(run))
         report = CrashReport(site=site, occurrence=occurrence,

@@ -67,12 +67,18 @@ DEFAULT_SEED = 0xC0FFEE
 
 
 class InjectedFault(RuntimeError):
-    """Raised at a fault site armed with a ``FAIL`` action."""
+    """Raised at a fault site armed with a ``FAIL`` action.
 
-    def __init__(self, site: str, occurrence: int):
+    ``note`` carries :attr:`FaultAction.note` through to the handler —
+    the resilience layer reads it as the device-error kind (see
+    :func:`repro.resil.errors.classify_injected`).
+    """
+
+    def __init__(self, site: str, occurrence: int, note: str = ""):
         super().__init__(f"injected fault at {site} (occurrence {occurrence})")
         self.site = site
         self.occurrence = occurrence
+        self.note = note
 
 
 @dataclass
@@ -139,9 +145,19 @@ class FaultRegistry:
 
     # -- arming ------------------------------------------------------------
     def arm(self, pattern: str, plan: FaultPlan,
-            action: Optional[FaultAction] = None) -> "FaultRegistry":
+            action: Optional[FaultAction] = None,
+            validate: bool = True) -> "FaultRegistry":
         """Arm ``plan``/``action`` on every site matching the glob
-        ``pattern`` (exact names match themselves)."""
+        ``pattern`` (exact names match themselves).
+
+        Patterns are validated against the site catalogue
+        (:mod:`repro.faults.sites`) — a typo'd site used to arm fine and
+        then silently never fire.  ``validate=False`` opts out for sites
+        outside the built-in stack (synthetic test probes, extensions).
+        """
+        if validate:
+            from .sites import validate_pattern
+            validate_pattern(pattern)
         self._arms.append(_Arm(pattern, plan, action or FaultAction()))
         return self
 
@@ -192,7 +208,7 @@ class FaultRegistry:
                     ev.succeed(self.crashed_at)
                 return None
             if arm.action.kind == FAIL:
-                raise InjectedFault(site, n)
+                raise InjectedFault(site, n, note=arm.action.note)
             return arm.action
         return None
 

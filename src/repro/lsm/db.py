@@ -20,6 +20,7 @@ from typing import Generator, Iterable, Optional
 from ..device.block_dev import BlockDevice
 from ..device.cpu import CpuModel
 from ..faults.registry import fault_point, touch
+from ..resil.errors import DeviceError
 from ..sim import Environment, Event, Interrupt, Store
 from ..types import KIND_DELETE, KIND_PUT, Entry, entry_size, make_entry, value_size
 from .compaction import CompactionJob, CompactionPicker, merge_for_compaction, split_into_files
@@ -110,6 +111,10 @@ class DbImpl:
         self._bg_wake: Optional[Event] = None
         self._closed = False
         self.background_error: Optional[BaseException] = None
+        # Sealed memtables whose flush hit a device error while the DB is
+        # in background-error state; resume() re-queues them.  Their WAL
+        # segments stay live, so their data remains durable meanwhile.
+        self._paused_flushes: list = []
 
         self._flush_proc = env.process(self._flush_worker(), name=f"{name}.flush")
         self._sched_proc = env.process(self._compaction_scheduler(),
@@ -172,6 +177,47 @@ class DbImpl:
         if ev is not None and not ev.triggered:
             ev.succeed()
 
+    # --------------------------------------------------------- background error
+    @property
+    def read_only(self) -> bool:
+        """RocksDB-style background-error state: writes are refused until
+        :meth:`resume`."""
+        return self.background_error is not None
+
+    def set_background_error(self, exc: BaseException) -> None:
+        """Latch the first background error (WAL/manifest fsync failure,
+        flush or compaction I/O error).  Foreground writes raise it until
+        an explicit :meth:`resume` — exactly RocksDB's
+        ``SetBGError`` / read-only-mode contract."""
+        if self.background_error is not None:
+            return
+        self.background_error = exc
+        if self.env.faults is not None:
+            touch(self.env, "db.bg_error.set")
+        if self.env.tracer is not None:
+            self.env.tracer.instant("db", "bg_error",
+                                    args={"error": str(exc)})
+
+    def resume(self) -> None:
+        """Clear the background error (RocksDB ``Resume()``): restart the
+        flush worker if the error killed it, re-queue parked flushes, and
+        wake the compaction scheduler."""
+        if self.background_error is None:
+            return
+        self.background_error = None
+        if self.env.faults is not None:
+            touch(self.env, "db.resume")
+        if self.env.tracer is not None:
+            self.env.tracer.instant("db", "resume")
+        if not self._flush_proc.is_alive and not self._closed:
+            self._flush_proc = self.env.process(self._flush_worker(),
+                                                name=f"{self.name}.flush")
+        for item in self._paused_flushes:
+            self._flush_queue.put(item)
+        self._paused_flushes = []
+        self.write_controller.refresh()
+        self._wake_background()
+
     # ------------------------------------------------------------------ write
     def put(self, key: bytes, value, seq: Optional[int] = None) -> Generator:
         """Insert one key-value pair (process generator)."""
@@ -229,7 +275,14 @@ class DbImpl:
         yield from self.host_cpu.consume(opt.cpu.put * len(entries),
                                          tag=f"{self.name}.write")
         if self.wal is not None:
-            yield from self.wal.append(nbytes, records=entries)
+            try:
+                yield from self.wal.append(nbytes, records=entries)
+            except DeviceError as exc:
+                # WAL write/fsync error: the batch is NOT applied (the
+                # caller must not consider it acked) and the DB latches
+                # into read-only state.
+                self.set_background_error(exc)
+                raise
         for e in entries:
             self.mem.add(e)
         if self.env.faults is not None:
@@ -266,7 +319,11 @@ class DbImpl:
             return
         segment = None
         if self.wal is not None:
-            yield from self.wal.sync()
+            try:
+                yield from self.wal.sync()
+            except DeviceError as exc:
+                self.set_background_error(exc)
+                raise
             segment = self.wal.current_segment
             self.wal.new_segment()
         sealed = self.mem
@@ -285,10 +342,16 @@ class DbImpl:
     # ------------------------------------------------------------------ flush
     def _flush_worker(self):
         while True:
+            item = None
             try:
                 item = yield self._flush_queue.get()
                 if item is _FLUSH_CLOSE:
                     return
+                if self.background_error is not None:
+                    # Read-only mode: park the sealed memtable for
+                    # resume(); its WAL segment keeps the data durable.
+                    self._paused_flushes.append(item)
+                    continue
                 mem, segment = item
                 yield from self._flush_one(mem, segment)
             except Interrupt:
@@ -298,6 +361,18 @@ class DbImpl:
                 self._inflight_flush_file = None
                 if f is not None and self.fs.exists(f.name):
                     self.fs.delete(f.name)
+            except DeviceError as exc:
+                # Flush I/O failed: delete the partial SST, park the
+                # memtable, latch background-error.  Unlike an unexpected
+                # exception the worker survives, so resume() can simply
+                # re-queue the parked work.
+                f = self._inflight_flush_file
+                self._inflight_flush_file = None
+                if f is not None and self.fs.exists(f.name):
+                    self.fs.delete(f.name)
+                if item is not None and item is not _FLUSH_CLOSE:
+                    self._paused_flushes.append(item)
+                self.set_background_error(exc)
             except BaseException as exc:  # surface in foreground path
                 self.background_error = exc
                 raise
@@ -352,6 +427,8 @@ class DbImpl:
     def _compaction_scheduler(self):
         while not self._closed:
             while self._active_compactions < self.options.max_background_compactions:
+                if self.background_error is not None:
+                    break   # read-only mode: no new background work
                 job = self.picker.pick(self.versions.current)
                 if job is None:
                     break
@@ -378,6 +455,18 @@ class DbImpl:
                     self.fs.delete(name)
             for meta in job.all_inputs:
                 meta.being_compacted = False
+        except DeviceError as exc:
+            # Compaction I/O failed: clean up as for a crash (orphan
+            # outputs deleted, inputs pickable again) and latch the
+            # background error instead of killing the job process tree.
+            for meta in job.partial_outputs:
+                name = self._sst_name(meta.number)
+                if self.fs.exists(name):
+                    self.fs.delete(name)
+            job.partial_outputs = []
+            for meta in job.all_inputs:
+                meta.being_compacted = False
+            self.set_background_error(exc)
         except BaseException as exc:
             self.background_error = exc
             raise
@@ -660,6 +749,8 @@ class DbImpl:
         self._flush_queue._getters.clear()
         self.mem = self._memtable_factory()
         self.imm.clear()
+        self.background_error = None      # the reopen starts clean
+        self._paused_flushes.clear()
         self.wal.drop_volatile_state()
         for name in list(self.page_cache._files):  # RAM: gone
             self.page_cache.evict(name)
@@ -725,6 +816,8 @@ class DbImpl:
         if len(self.mem) > 0:
             yield from self._switch_memtable()
         while self.imm:
+            if self.background_error is not None:
+                raise self.background_error
             yield self.env.timeout(0.001)
         if self.background_error is not None:
             raise self.background_error
@@ -737,6 +830,11 @@ class DbImpl:
                     or self.picker.pick(self.versions.current) is not None)
             if not busy:
                 return
+            if (self.background_error is not None
+                    and self._active_compactions == 0):
+                # Read-only mode: the remaining work is parked until
+                # resume(), so waiting would never terminate.
+                raise self.background_error
             yield self.env.timeout(poll)
 
     def close(self) -> None:

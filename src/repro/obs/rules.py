@@ -177,7 +177,8 @@ class HealthMonitor:
 def default_rules(period: float = 1.0,
                   device_peak_bw: float = 630 * MiB,
                   delayed_write_rate: float = 16 * MiB,
-                  value_size: int = 4096) -> list[HealthRule]:
+                  value_size: int = 4096,
+                  retry_storm_rate: float = 200.0) -> list[HealthRule]:
     """The built-in rule set, parameterised from the run's profile.
 
     ``period`` scales byte-per-bucket thresholds; windows stay in buckets
@@ -232,6 +233,23 @@ def default_rules(period: float = 1.0,
         return bad, {"floor_ops": floor_ops,
                      "write_ops": _get(win[-1], "lsm.write_ops")}
 
+    # Resilience layer (repro.resil): the resil.state gauge encodes
+    # HEALTHY=0 / RECOVERING=1 / DEGRADED=2; a missing channel reads 0.0,
+    # so systems without the resilience stack can never trip these.
+    def degraded_mode_entered(win):
+        state = _get(win[-1], "resil.state")
+        return state >= 2.0, {"resil_state": state}
+
+    # Retries are recoverable by design, but a storm of them means the
+    # device is flapping — flag sustained retry pressure before the
+    # degradation threshold turns it into an outage.
+    storm_retries = retry_storm_rate * period
+
+    def retry_storm(win):
+        total = sum(_get(s, "resil.retries") for s in win)
+        avg = total / len(win)
+        return avg >= storm_retries, {"retries_per_bucket": round(avg, 1)}
+
     return [
         HealthRule("stall_storm", "critical", 10, stall_storm,
                    "write stalls dominate a 10-bucket window"),
@@ -243,4 +261,10 @@ def default_rules(period: float = 1.0,
                    "rollback active but Dev-LSM footprint not shrinking"),
         HealthRule("delayed_rate_floor", "warning", 5, delayed_rate_floor,
                    "slowdown throttled writes below the delayed-rate floor"),
+        HealthRule("degraded_mode_entered", "critical", 1,
+                   degraded_mode_entered,
+                   "resilience state machine entered DEGRADED: Dev-LSM "
+                   "admission suspended, all writes on Main-LSM"),
+        HealthRule("retry_storm", "warning", 3, retry_storm,
+                   "sustained device-command retry pressure"),
     ]

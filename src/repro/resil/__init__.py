@@ -1,0 +1,81 @@
+"""End-to-end failure handling for the KVACCEL stack (ISSUE 5 tentpole).
+
+Four pieces threaded through the existing layers:
+
+* :mod:`~repro.resil.errors` — the typed :class:`DeviceError` taxonomy
+  (transient / persistent / media / timeout) that device commands complete
+  with, plus the classifier that maps injected faults onto it;
+* :mod:`~repro.resil.retry` — the deterministic, sim-clock retry/backoff
+  executor wrapped around NVMe command issue in ``device/kv_dev.py`` and
+  ``device/block_dev.py`` (exponential backoff + jitter from a seeded RNG,
+  per-command deadlines and timeouts — never wall clock);
+* :mod:`~repro.resil.degrade` — the HEALTHY → DEGRADED → RECOVERING
+  graceful-degradation state machine the controller consults before
+  admitting writes to the Dev-LSM;
+* :mod:`~repro.resil.soak` — the long-horizon chaos-soak harness behind
+  ``python -m repro.faults soak``.
+
+Import note: ``repro.device`` and ``repro.lsm`` import
+:mod:`~repro.resil.errors` for the exception type, which executes this
+``__init__``.  To avoid an import cycle the eager re-exports stop at the
+leaf modules (errors/retry/degrade); the soak harness — which imports the
+whole stack — loads lazily on first attribute access, mirroring
+``repro.faults``.
+"""
+
+from .degrade import (
+    DEGRADED,
+    HEALTHY,
+    RECOVERING,
+    DegradationManager,
+    ResilienceConfig,
+    STATE_GAUGE,
+)
+from .errors import (
+    DeviceError,
+    ERROR_KINDS,
+    MEDIA,
+    PERSISTENT,
+    TIMEOUT,
+    TRANSIENT,
+    as_device_error,
+    classify_injected,
+)
+from .retry import RetryExecutor, RetryPolicy, RetryStats, backoff_schedule
+
+_LAZY = {
+    "SoakConfig": "soak",
+    "SoakResult": "soak",
+    "run_soak": "soak",
+}
+
+__all__ = [
+    "TRANSIENT",
+    "PERSISTENT",
+    "MEDIA",
+    "TIMEOUT",
+    "ERROR_KINDS",
+    "DeviceError",
+    "classify_injected",
+    "as_device_error",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryExecutor",
+    "backoff_schedule",
+    "HEALTHY",
+    "RECOVERING",
+    "DEGRADED",
+    "STATE_GAUGE",
+    "ResilienceConfig",
+    "DegradationManager",
+    *sorted(set(_LAZY)),
+]
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,98 @@
+"""Typed device-error taxonomy.
+
+Every failed device command completes with a :class:`DeviceError` carrying
+one of four kinds, mirroring how NVMe status codes split into retryable
+and fatal families:
+
+* ``transient``  — the command failed this time but the medium is fine
+  (bus glitch, controller hiccup, ECC soft error); reissuing is expected
+  to succeed.
+* ``persistent`` — the command will keep failing (firmware refuses the
+  verb, region offline); retrying is pointless.
+* ``media``      — the NAND itself failed (program/erase failure on a
+  worn block, grown bad block); the FTL remaps, the host must not retry
+  the same physical op.
+* ``timeout``    — the host-side command deadline expired before a
+  completion arrived; the command's effect on the device is *unknown*.
+
+``retryable`` is the property the retry stack keys on: transient and
+timeout errors are retried with backoff, persistent and media errors
+surface immediately so the degradation state machine can react.
+
+Injected faults (:class:`~repro.faults.registry.InjectedFault`) map onto
+the taxonomy through :func:`classify_injected`: the fault action's ``note``
+names the kind (``FaultAction(FAIL, note="persistent")``), defaulting to
+``transient`` — so existing FAIL arms behave like soft errors under the
+retry stack while still surfacing raw on stacks without one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "TRANSIENT",
+    "PERSISTENT",
+    "MEDIA",
+    "TIMEOUT",
+    "ERROR_KINDS",
+    "DeviceError",
+    "classify_injected",
+    "as_device_error",
+]
+
+TRANSIENT = "transient"
+PERSISTENT = "persistent"
+MEDIA = "media"
+TIMEOUT = "timeout"
+
+ERROR_KINDS = (TRANSIENT, PERSISTENT, MEDIA, TIMEOUT)
+
+# Kinds worth reissuing the command for.  A timeout is retryable because
+# the typical cause is queueing, not damage — but callers must tolerate
+# duplicate execution (our KV verbs are idempotent under same-seq replay).
+_RETRYABLE = frozenset({TRANSIENT, TIMEOUT})
+
+
+class DeviceError(RuntimeError):
+    """A device command completed with an error status."""
+
+    def __init__(self, kind: str, site: str = "", detail: str = ""):
+        if kind not in ERROR_KINDS:
+            raise ValueError(f"kind must be one of {ERROR_KINDS}")
+        msg = f"device error [{kind}]"
+        if site:
+            msg += f" at {site}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.kind = kind
+        self.site = site
+        self.detail = detail
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind in _RETRYABLE
+
+
+def classify_injected(exc: BaseException, site: str = "") -> DeviceError:
+    """Map an :class:`InjectedFault` onto the taxonomy.
+
+    The fault action's ``note`` names the kind; anything else (including
+    the empty default) classifies as transient — the least surprising
+    reading of "a fault fired here" for a stack that retries.
+    """
+    note = getattr(exc, "note", "") or TRANSIENT
+    kind = note if note in ERROR_KINDS else TRANSIENT
+    return DeviceError(kind, site=site or getattr(exc, "site", ""),
+                       detail=str(exc))
+
+
+def as_device_error(exc: BaseException, site: str = "") -> Optional[DeviceError]:
+    """Return ``exc`` as a DeviceError, or None if it is neither a
+    DeviceError nor an injected fault (real bugs must not be retried)."""
+    if isinstance(exc, DeviceError):
+        return exc
+    if getattr(exc, "site", None) is not None and hasattr(exc, "occurrence"):
+        return classify_injected(exc, site)
+    return None

@@ -120,7 +120,8 @@ def test_fault_point_is_noop_without_registry():
 def test_fault_point_delay_stretches_op():
     env = Environment()
     reg = FaultRegistry().install(env)
-    reg.arm("slow.site", AlwaysPlan(), FaultAction(kind="delay", delay=0.25))
+    reg.arm("slow.site", AlwaysPlan(), FaultAction(kind="delay", delay=0.25),
+            validate=False)
 
     def probe():
         action = yield from fault_point(env, "slow.site")
@@ -133,7 +134,7 @@ def test_fault_point_delay_stretches_op():
 def test_crash_action_latches_and_fires_event():
     env = Environment()
     reg = FaultRegistry().install(env)
-    reg.arm("x", AlwaysPlan(), FaultAction(kind="crash"))
+    reg.arm("x", AlwaysPlan(), FaultAction(kind="crash"), validate=False)
     ev = reg.new_crash_event(env)
     assert touch(env, "x") is None        # crash returns None to the site
     assert reg.crashed_at is not None

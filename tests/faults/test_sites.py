@@ -1,0 +1,100 @@
+"""Arm-time site validation and the honesty of the site catalogue."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.faults.plan import AlwaysPlan
+from repro.faults.registry import FAIL, FaultAction, FaultRegistry
+from repro.faults.sites import (
+    DYNAMIC_SUFFIXES,
+    KNOWN_SITES,
+    UnknownSiteError,
+    matching_sites,
+    validate_pattern,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+# Site names produced by f-strings rather than literals, per family.
+DYNAMIC_FAMILIES = {
+    "nand.read", "nand.program", "nand.erase",        # f"nand.{op}"
+    "pcie.transfer",                                  # f"{self.name}.transfer"
+    "resil.healthy.enter", "resil.recovering.enter",  # f"resil.{state}.enter"
+    "resil.degraded.enter",
+}
+
+
+def _source_literal_sites() -> set:
+    # Direct probes plus KvDevice's _submit helper, which forwards the
+    # site name to fault_point.
+    pat = re.compile(
+        r'(?:(?:fault_point|touch)\(\s*[\w.]+\s*,|_submit\(\s*)\s*"([^"{]+)"'
+    )
+    sites = set()
+    for path in SRC.rglob("*.py"):
+        for m in pat.finditer(path.read_text(encoding="utf-8")):
+            sites.add(m.group(1))
+    return sites
+
+
+# ------------------------------------------------------------ validation
+def test_exact_known_site_accepted():
+    validate_pattern("kv.put.submit")
+    validate_pattern("rollback.complete")
+
+
+def test_dynamic_suffix_accepted():
+    validate_pattern("some-other-link.transfer")
+
+
+def test_typo_rejected():
+    with pytest.raises(UnknownSiteError):
+        validate_pattern("kv.putbatch.submit")     # the original bug
+    with pytest.raises(UnknownSiteError):
+        validate_pattern("wal.appendx")
+
+
+def test_glob_must_match_some_site():
+    validate_pattern("kv.*.submit")
+    validate_pattern("rollback.*")
+    with pytest.raises(UnknownSiteError):
+        validate_pattern("kvx.*")
+    with pytest.raises(UnknownSiteError):
+        validate_pattern("mylink.*")     # dynamic family globs rejected
+
+
+def test_matching_sites_lists_expansion():
+    got = matching_sites("kv.*.submit")
+    assert "kv.put.submit" in got
+    assert "kv.put_batch.submit" in got
+    assert got == sorted(got)
+
+
+# ------------------------------------------------------------- arm hook
+def test_arm_rejects_unknown_site():
+    reg = FaultRegistry(seed=1)
+    with pytest.raises(UnknownSiteError):
+        reg.arm("kv.putbatch.submit", AlwaysPlan(), FaultAction(FAIL))
+
+
+def test_arm_escape_hatch():
+    reg = FaultRegistry(seed=1)
+    reg.arm("totally.synthetic.site", AlwaysPlan(), FaultAction(FAIL),
+            validate=False)
+
+
+# ---------------------------------------------------- catalogue honesty
+def test_every_source_literal_is_catalogued():
+    missing = _source_literal_sites() - KNOWN_SITES
+    assert not missing, f"probe sites missing from KNOWN_SITES: {missing}"
+
+
+def test_no_stale_catalogue_entries():
+    stale = KNOWN_SITES - _source_literal_sites() - DYNAMIC_FAMILIES
+    assert not stale, f"KNOWN_SITES entries with no probe in src: {stale}"
+
+
+def test_dynamic_suffixes_documented():
+    assert ".transfer" in DYNAMIC_SUFFIXES

@@ -1,0 +1,62 @@
+"""The resilience health rules: degraded-mode entry and retry storms."""
+
+from repro.obs.rules import HealthMonitor, default_rules
+
+
+def rule_named(name, **kw):
+    rules = [r for r in default_rules(**kw) if r.name == name]
+    assert len(rules) == 1, name
+    return rules[0]
+
+
+def test_default_rule_set_includes_resilience_rules():
+    names = [r.name for r in default_rules()]
+    assert "degraded_mode_entered" in names
+    assert "retry_storm" in names
+    assert len(names) == len(set(names))
+
+
+def test_degraded_mode_entered_tracks_state_gauge():
+    mon = HealthMonitor(None, [rule_named("degraded_mode_entered")])
+    mon.observe(0.0, {"resil.state": 0.0})       # HEALTHY
+    mon.observe(1.0, {"resil.state": 1.0})       # RECOVERING: not degraded
+    assert mon.events == []
+    mon.observe(2.0, {"resil.state": 2.0})       # DEGRADED
+    assert [e.phase for e in mon.events] == ["enter"]
+    assert mon.events[0].severity == "critical"
+    assert mon.events[0].data == {"resil_state": 2.0}
+    mon.observe(3.0, {"resil.state": 0.0})       # recovered
+    assert [e.phase for e in mon.events] == ["enter", "clear"]
+
+
+def test_retry_storm_needs_sustained_pressure():
+    rule = rule_named("retry_storm", period=1.0, retry_storm_rate=10.0)
+    mon = HealthMonitor(None, [rule])
+    # One hot bucket inside a quiet window: average stays below the bar.
+    for t, retries in enumerate([0.0, 12.0, 0.0, 0.0]):
+        mon.observe(float(t), {"resil.retries": retries})
+    assert not mon.fired("retry_storm")
+    # Three consecutive storming buckets.
+    for t, retries in enumerate([15.0, 15.0, 15.0], start=4):
+        mon.observe(float(t), {"resil.retries": retries})
+    assert mon.fired("retry_storm")
+    assert mon.events[-1].phase == "enter"
+    assert mon.events[-1].severity == "warning"
+
+
+def test_retry_storm_scales_with_period():
+    # Same retries/bucket, 10x shorter buckets: 5/bucket is now a storm.
+    rule = rule_named("retry_storm", period=0.1, retry_storm_rate=10.0)
+    mon = HealthMonitor(None, [rule])
+    for t in range(3):
+        mon.observe(float(t), {"resil.retries": 5.0})
+    assert mon.fired("retry_storm")
+
+
+def test_missing_channels_never_trip_resilience_rules():
+    """Systems without the resilience stack export neither channel."""
+    mon = HealthMonitor(None, [rule_named("degraded_mode_entered"),
+                               rule_named("retry_storm")])
+    for t in range(6):
+        mon.observe(float(t), {"lsm.write_ops": 100.0})
+    assert mon.events == []

@@ -1,0 +1,53 @@
+"""Crash-sweep coverage for the resilience state machine.
+
+The resilience-enabled harness workload walks the full degradation loop
+(DEGRADED -> RECOVERING -> HEALTHY) and a background-error/resume()
+episode; crashing at each state-machine site must still pass the
+differential oracle after recovery.
+"""
+
+import pytest
+
+from repro.faults.harness import KvaccelFaultHarness
+
+STATE_SITES = [
+    "resil.degraded.enter",
+    "resil.recovering.enter",
+    "resil.healthy.enter",
+    "db.bg_error.set",
+    "db.resume",
+]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return KvaccelFaultHarness(resilience=True)
+
+
+def test_workload_reaches_every_state_site(harness):
+    sites = {hit.site for hit in harness.trace()}
+    for site in STATE_SITES:
+        assert site in sites, f"{site} not reached by the workload"
+
+
+def test_workload_walks_the_full_loop(harness):
+    run = harness.run_clean()
+    states = [s for _, s in run.db.resil.transitions]
+    assert states == ["degraded", "recovering", "healthy"]
+    assert run.db.main.background_error is None   # resume() cleared it
+    run.db.close()
+
+
+@pytest.mark.parametrize("site", STATE_SITES)
+def test_crash_at_state_site_recovers_consistently(harness, site):
+    report = harness.crash_at(site)
+    assert report.crashed, f"armed site {site} never fired"
+    assert report.ok, report.describe()
+
+
+def test_default_harness_unchanged_without_resilience():
+    """resilience=False must not perturb the existing site trace."""
+    plain = KvaccelFaultHarness()
+    sites = {hit.site for hit in plain.trace()}
+    for site in STATE_SITES:
+        assert site not in sites

@@ -1,0 +1,148 @@
+"""The HEALTHY -> DEGRADED -> RECOVERING state machine."""
+
+from repro.resil import (
+    DEGRADED,
+    DegradationManager,
+    DeviceError,
+    HEALTHY,
+    PERSISTENT,
+    RECOVERING,
+    ResilienceConfig,
+    STATE_GAUGE,
+)
+from repro.sim import Environment
+
+
+def make(env=None, **kw):
+    env = env or Environment()
+    cfg = ResilienceConfig(degrade_error_threshold=kw.pop("threshold", 3),
+                           degrade_window=kw.pop("window", 1.0),
+                           recover_probation=kw.pop("probation", 0.5),
+                           recover_min_successes=kw.pop("min_successes", 2))
+    return env, DegradationManager(env, cfg)
+
+
+def err():
+    return DeviceError(PERSISTENT, site="kv.put")
+
+
+def test_starts_healthy_and_allows_redirect():
+    _, dm = make()
+    assert dm.state == HEALTHY
+    assert dm.allows_redirect()
+    assert not dm.wants_drain()
+
+
+def test_threshold_errors_within_window_degrade():
+    env, dm = make(threshold=3)
+    dm.record_error(err())
+    dm.record_error(err())
+    assert dm.state == HEALTHY          # below threshold
+    dm.record_error(err())
+    assert dm.state == DEGRADED
+    assert not dm.allows_redirect()
+    assert dm.wants_drain()
+    assert dm.device_errors == 3
+
+
+def test_window_prunes_old_errors():
+    env, dm = make(threshold=3, window=1.0)
+
+    def tick(dt):
+        def g():
+            yield env.timeout(dt)
+        env.run(until=env.process(g()))
+
+    dm.record_error(err())
+    tick(2.0)                           # first error falls out of window
+    dm.record_error(err())
+    dm.record_error(err())
+    assert dm.state == HEALTHY
+    dm.record_error(err())
+    assert dm.state == DEGRADED
+
+
+def test_drain_moves_to_recovering_then_successes_close_the_loop():
+    env, dm = make(threshold=1, probation=0.0, min_successes=2)
+    dm.record_error(err())
+    assert dm.state == DEGRADED
+    dm.note_drained()
+    assert dm.state == RECOVERING
+    assert dm.allows_redirect()         # probation probes are admitted
+    dm.record_success()
+    assert dm.state == RECOVERING
+    dm.record_success()
+    assert dm.state == HEALTHY
+    assert [s for _, s in dm.transitions] == [DEGRADED, RECOVERING, HEALTHY]
+
+
+def test_error_during_probation_relapses_immediately():
+    env, dm = make(threshold=1)
+    dm.record_error(err())
+    dm.note_drained()
+    assert dm.state == RECOVERING
+    dm.record_error(err())              # one error is enough: hysteresis
+    assert dm.state == DEGRADED
+
+
+def test_probation_time_must_elapse():
+    env, dm = make(threshold=1, probation=0.5, min_successes=1)
+    dm.record_error(err())
+    dm.note_drained()
+    dm.record_success()
+    assert dm.state == RECOVERING       # successes alone are not enough
+
+    def wait():
+        yield env.timeout(1.0)
+    env.run(until=env.process(wait()))
+    dm.record_success()
+    assert dm.state == HEALTHY
+
+
+def test_note_drained_only_acts_when_degraded():
+    _, dm = make()
+    dm.note_drained()
+    assert dm.state == HEALTHY
+
+
+def test_successes_ignored_outside_probation():
+    _, dm = make()
+    dm.record_success()
+    assert dm.state == HEALTHY
+    assert dm._successes == 0
+
+
+def test_force_degrade_and_reset():
+    _, dm = make()
+    dm.force_degrade()
+    assert dm.state == DEGRADED
+    dm.reset()
+    assert dm.state == HEALTHY
+
+
+def test_fallback_accounting():
+    _, dm = make()
+    dm.record_fallback()
+    dm.record_fallback()
+    assert dm.fallback_writes == 2
+
+
+def test_state_gauge_encoding():
+    assert STATE_GAUGE[HEALTHY] == 0.0
+    assert STATE_GAUGE[RECOVERING] == 1.0
+    assert STATE_GAUGE[DEGRADED] == 2.0
+
+
+def test_state_gauge_exported_via_telemetry():
+    from repro.obs import TelemetryHub
+
+    env = Environment()
+    hub = TelemetryHub(env, period=0.1).install(env)
+    _, dm = make(env)
+    dm.force_degrade()
+
+    def wait():
+        yield env.timeout(0.35)
+    env.run(until=env.process(wait()))
+    assert "resil.state" in hub.channels
+    assert hub.channels["resil.state"].values[-1] == 2.0

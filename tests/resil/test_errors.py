@@ -1,0 +1,61 @@
+"""The device-error taxonomy and the injected-fault classifier."""
+
+import pytest
+
+from repro.faults.registry import InjectedFault
+from repro.resil import (
+    DeviceError,
+    ERROR_KINDS,
+    MEDIA,
+    PERSISTENT,
+    TIMEOUT,
+    TRANSIENT,
+    as_device_error,
+    classify_injected,
+)
+
+
+def test_kinds_and_retryability():
+    assert set(ERROR_KINDS) == {TRANSIENT, PERSISTENT, MEDIA, TIMEOUT}
+    assert DeviceError(TRANSIENT).retryable
+    assert DeviceError(TIMEOUT).retryable
+    assert not DeviceError(PERSISTENT).retryable
+    assert not DeviceError(MEDIA).retryable
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        DeviceError("flaky")
+
+
+def test_message_carries_site_and_detail():
+    err = DeviceError(MEDIA, site="nand.read", detail="uncorrectable")
+    assert "media" in str(err)
+    assert "nand.read" in str(err)
+    assert "uncorrectable" in str(err)
+
+
+def test_classify_injected_uses_note():
+    for note, kind in (("", TRANSIENT), ("transient", TRANSIENT),
+                       ("persistent", PERSISTENT), ("media", MEDIA),
+                       ("timeout", TIMEOUT), ("freeform text", TRANSIENT)):
+        fault = InjectedFault("kv.put.submit", 3, note=note)
+        err = classify_injected(fault)
+        assert err.kind == kind
+        assert err.site == "kv.put.submit"
+
+
+def test_as_device_error_passthrough_and_classification():
+    err = DeviceError(TIMEOUT, site="kv.get")
+    assert as_device_error(err) is err
+    fault = InjectedFault("pcie.transfer", 1, note="persistent")
+    converted = as_device_error(fault, site="kv.put")
+    assert isinstance(converted, DeviceError)
+    assert converted.kind == PERSISTENT
+    assert converted.site == "kv.put"     # explicit site wins
+
+
+def test_as_device_error_rejects_real_bugs():
+    assert as_device_error(ValueError("boom")) is None
+    assert as_device_error(KeyError("k")) is None
+    assert as_device_error(RuntimeError("not a device status")) is None
