@@ -15,6 +15,7 @@ Exit status is non-zero if any shape check fails.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 
@@ -59,6 +60,14 @@ def main(argv=None) -> int:
     parser.add_argument("--report", action="store_true",
                         help="with --trace: print per-stall attribution "
                              "reports from the recorded traces")
+    parser.add_argument("--shards", metavar="N[,N...]", default=None,
+                        help="shard counts for the cluster scaling sweep "
+                             "(e.g. 1,2,4,8); ignored by experiments "
+                             "without a cluster dimension")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the experiment's JSON report artifact "
+                             "(cluster: the scaling/telemetry report); "
+                             "ignored by experiments without one")
     parser.add_argument("--json", metavar="PATH", nargs="?",
                         const="", default=None, dest="json_out",
                         help="write a BENCH_<exp>.json baseline per "
@@ -93,7 +102,17 @@ def main(argv=None) -> int:
                         if args.trace else None),
             telemetry=args.json_out is not None,
         )
-        out = ALL[name].run(quick=args.quick, options=options)
+        # Experiment-specific knobs ride through only where accepted, so
+        # `all --shards 1,2` doesn't trip experiments without that axis.
+        kwargs = {}
+        accepted = inspect.signature(ALL[name].run).parameters
+        if args.shards is not None and "shards" in accepted:
+            kwargs["shards"] = tuple(
+                int(n) for n in args.shards.replace("{", "").replace(
+                    "}", "").split(",") if n.strip())
+        if args.out is not None and "out" in accepted:
+            kwargs["out"] = args.out
+        out = ALL[name].run(quick=args.quick, options=options, **kwargs)
         if not out["check"].passed:
             failed.append(name)
         # Microbench experiments (tab06, sec6d) return no per-cell results.

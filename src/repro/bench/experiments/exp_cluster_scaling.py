@@ -1,0 +1,157 @@
+"""Cluster — shard-count scaling sweep on workload A (ROADMAP item 1).
+
+Runs ``Cluster(n)`` for each requested shard count (every shard a full
+KVACCEL stack behind the deterministic hash router) plus a single-instance
+``KVAccel(1)`` reference cell, fanning cells out over the parallel cell
+runner like any other experiment.  The report gives, per shard count:
+fleet write throughput, aggregate and per-shard p50/p99/p999 write
+latency, per-shard write-amplification spread (the VAT cost-model lens:
+a tight WA band is what makes the scaling curve interpretable), hot-shard
+and degraded-shard indicators.
+
+Shape checks:
+
+* the 1-shard cluster's simulated trajectory is *identical* to the
+  single-instance reference cell — the facade is a zero-cost wrapper
+  (the strict pinned-golden form of this check lives in
+  ``tests/cluster/test_cluster_golden.py``);
+* fleet throughput scales up with shard count (with generous slack —
+  mini profiles are noisy);
+* the hash router keeps shards balanced (no hot shard on a uniform
+  workload; per-shard op spread within 2x).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..report import kops, shape_check, table
+from ..runner import RunOptions, RunSpec
+from .common import resolve_profile, run_cells
+
+# Trajectory fields compared for the 1-shard identity check: everything a
+# RunResult serializes except the display name and, when telemetry is on,
+# the hub export (the cluster facade registers extra cluster.* channels,
+# which is a *telemetry* difference, not a trajectory one).
+_IDENTITY_EXCLUDE = {"name", "telemetry", "health_events"}
+
+DEFAULT_SHARDS = (1, 2, 4, 8)
+
+
+def _percentiles(summary) -> str:
+    if not summary:
+        return "-"
+    return (f"{summary['p50']:.0f}/{summary['p99']:.0f}/"
+            f"{summary['p99.9']:.0f}")
+
+
+def run(profile=None, quick: bool = False, options=None,
+        shards=DEFAULT_SHARDS, out=None) -> dict:
+    profile = resolve_profile(profile, quick)
+    shards = tuple(sorted(set(int(n) for n in shards)))
+    if not shards or shards[0] < 1:
+        raise ValueError("shards must be positive integers")
+    if out and not (options and options.telemetry):
+        # The written artifact carries per-shard cluster.* telemetry
+        # series; make sure cells actually run a hub.
+        options = dataclasses.replace(options or RunOptions(),
+                                      telemetry=True)
+
+    specs = [RunSpec("kvaccel", "A", 1, rollback="disabled",
+                     label="KVAccel(1) ref")]
+    specs += [RunSpec("cluster", "A", 1, rollback="disabled", shards=n)
+              for n in shards]
+    results = run_cells(specs, profile, options)
+    ref = results["KVAccel(1) ref"]
+
+    rows = []
+    scaling = []
+    for n in shards:
+        res = results[f"Cluster({n})"]
+        rep = res.extra["cluster"]
+        shard_p99s = [row["write_latency"]["p99"]
+                      for row in rep["per_shard"] if row["write_latency"]]
+        wa = rep["write_amplification"]
+        rows.append([
+            res.name,
+            kops(res.write_throughput_ops),
+            _percentiles(rep["aggregate_write_latency"]),
+            (f"{min(shard_p99s):.0f}..{max(shard_p99s):.0f}"
+             if shard_p99s else "-"),
+            f"{wa['min']:.2f}..{wa['max']:.2f}",
+            str(rep["hot_shard"]),
+            str(rep["degraded_shards"]),
+        ])
+        scaling.append({
+            "shards": n,
+            "write_throughput_ops": res.write_throughput_ops,
+            "aggregate_write_latency": rep["aggregate_write_latency"],
+            "aggregate_read_latency": rep["aggregate_read_latency"],
+            "per_shard": rep["per_shard"],
+            "write_amplification": wa,
+            "hot_shard": rep["hot_shard"],
+            "degraded_shards": rep["degraded_shards"],
+            "telemetry": res.telemetry,
+        })
+
+    check = shape_check("Cluster: zero-cost facade + shard-count scaling")
+    if 1 in shards:
+        one = results["Cluster(1)"]
+        ref_doc, one_doc = ref.to_json(), one.to_json()
+        diverged = [f for f in ref_doc
+                    if f not in _IDENTITY_EXCLUDE
+                    and ref_doc[f] != one_doc.get(f)]
+        check.expect("Cluster(1) trajectory identical to KVAccel(1)",
+                     not diverged, f"diverged fields: {diverged or 'none'}")
+    first, last = scaling[0], scaling[-1]
+    if last["shards"] > first["shards"]:
+        check.expect_order(
+            f"throughput: Cluster({last['shards']}) > "
+            f"Cluster({first['shards']})",
+            last["write_throughput_ops"], first["write_throughput_ops"],
+            slack=1.0)
+    for row in scaling:
+        if row["shards"] >= 2:
+            ops = [s["write_ops"] for s in row["per_shard"]]
+            check.expect(
+                f"hash router balances {row['shards']} shards",
+                max(ops) <= 2 * max(1, min(ops)) and row["hot_shard"] == -1,
+                f"per-shard ops {ops}")
+    check.expect("no shard degraded on a fault-free sweep",
+                 all(row["degraded_shards"] == 0 for row in scaling),
+                 "degraded counts "
+                 f"{[row['degraded_shards'] for row in scaling]}")
+
+    print(table(
+        ["config", "thr (Kops/s)", "agg p50/p99/p999 (us)",
+         "shard p99 spread", "WA spread", "hot", "degraded"],
+        rows, title="Cluster — workload A shard-count scaling"))
+    print(f"reference: {ref.name} {kops(ref.write_throughput_ops)} Kops/s")
+    print(check.render())
+
+    doc = {
+        "experiment": "cluster",
+        "profile": profile.name,
+        "workload": "A",
+        "router": "hash",
+        "reference_throughput_ops": ref.write_throughput_ops,
+        "scaling": [
+            {k: v for k, v in row.items()
+             if k != "telemetry" or v is not None}
+            for row in scaling
+        ],
+        "checks_passed": check.passed,
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"cluster scaling report written to {out}")
+
+    return {"results": results, "scaling": scaling, "report": doc,
+            "check": check}
+
+
+if __name__ == "__main__":
+    run()["check"].assert_all()

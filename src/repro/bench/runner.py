@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..adoc import AdocDb, AdocTunerConfig
+from ..cluster import ROUTER_POLICIES, ClusterCpuView, ClusterDb, ClusterFabric, make_router
 from ..core import KvaccelDb, RollbackConfig
 from ..device import CpuModel, HybridSsd
 from ..lsm import DbImpl
@@ -36,7 +37,7 @@ from .profiles import ExperimentProfile
 __all__ = ["RunSpec", "RunOptions", "run_workload", "build_system",
            "cell_trace_path", "PERF_EXTRA_KEYS", "LIVE_EXTRA_KEYS"]
 
-SYSTEMS = ("rocksdb", "adoc", "kvaccel")
+SYSTEMS = ("rocksdb", "adoc", "kvaccel", "cluster")
 
 # Wall-clock instrumentation keys written into RunResult.extra by
 # run_workload.  They vary run to run, so baseline comparisons and the
@@ -92,17 +93,30 @@ class RunSpec:
     seed: int = 1
     duration: Optional[float] = None  # override the profile horizon
     label: Optional[str] = None
+    shards: int = 1                  # cluster: shard count
+    router: str = "hash"             # cluster: key-space routing policy
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
             raise ValueError(f"system must be one of {SYSTEMS}")
         if self.workload not in WORKLOADS:
             raise ValueError(f"workload must be one of {sorted(WORKLOADS)}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.router not in ROUTER_POLICIES:
+            raise ValueError(f"router must be one of {ROUTER_POLICIES}")
 
     @property
     def display(self) -> str:
         if self.label:
             return self.label
+        if self.system == "cluster":
+            name = f"Cluster({self.shards})"
+            if self.router != "hash":
+                name += f"/{self.router}"
+            if self.rollback != "disabled":
+                name += {"lazy": "-L", "eager": "-E"}[self.rollback]
+            return name
         base = {"rocksdb": "RocksDB", "adoc": "ADOC", "kvaccel": "KVAccel"}
         name = f"{base[self.system]}({self.compaction_threads})"
         if self.system in ("rocksdb", "adoc") and not self.slowdown:
@@ -112,8 +126,59 @@ class RunSpec:
         return name
 
 
+def _build_kvaccel_shard(env: Environment, profile: ExperimentProfile,
+                         spec: RunSpec, name: str, cpu_name: str):
+    """One complete KVACCEL stack (db, ssd, cpu).
+
+    Shared by the single-instance ``kvaccel`` branch and every cluster
+    shard so the construction sequence — and therefore the event-seq
+    numbering — is identical by construction (the 1-shard differential
+    oracle depends on this)."""
+    cpu = CpuModel(env, cores=profile.host_cores, name=cpu_name)
+    ssd = HybridSsd(env, cpu, copy.deepcopy(profile.ssd))
+    opts = copy.deepcopy(profile.options)
+    opts.max_background_compactions = spec.compaction_threads
+    opts.slowdown_enabled = spec.slowdown
+    rb = RollbackConfig(scheme=spec.rollback,
+                        period=profile.rollback_period,
+                        quiet_window=profile.rollback_quiet_window)
+    db = KvaccelDb(env, opts, ssd, cpu, name=name,
+                   rollback=rb,
+                   detector_config=copy.deepcopy(profile.detector),
+                   page_cache_bytes=profile.page_cache_bytes,
+                   resilience=profile.resilience)
+    return db, ssd, cpu
+
+
+def _build_cluster(env: Environment, profile: ExperimentProfile,
+                   spec: RunSpec):
+    """N share-nothing KVACCEL shards behind a ClusterDb facade.
+
+    Shards are named ``shard<N>`` (their internal daemons inherit the
+    prefix — the hook shard-scoped fault plans key on) and built in shard
+    id order.  A 1-shard cluster returns the real shard's ssd/cpu so the
+    harness measures exactly the single-instance objects."""
+    shards = []
+    for sid in range(spec.shards):
+        shards.append(_build_kvaccel_shard(
+            env, profile, spec, name=f"shard{sid}",
+            cpu_name=f"shard{sid}.host" if spec.shards > 1 else "host"))
+    router = make_router(spec.router, spec.shards, profile.key_space,
+                         seed=spec.seed)
+    db = ClusterDb(env, shards, router)
+    if spec.shards == 1:
+        _, ssd, cpu = shards[0]
+        return db, ssd, cpu
+    return db, ClusterFabric(db.shards), ClusterCpuView(db.shards)
+
+
 def build_system(env: Environment, profile: ExperimentProfile, spec: RunSpec):
     """Instantiate (db, ssd, cpu) for a spec."""
+    if spec.system == "cluster":
+        return _build_cluster(env, profile, spec)
+    if spec.system == "kvaccel":
+        return _build_kvaccel_shard(env, profile, spec, name="kvaccel",
+                                    cpu_name="host")
     cpu = CpuModel(env, cores=profile.host_cores, name="host")
     ssd = HybridSsd(env, cpu, copy.deepcopy(profile.ssd))
     opts = copy.deepcopy(profile.options)
@@ -124,7 +189,7 @@ def build_system(env: Environment, profile: ExperimentProfile, spec: RunSpec):
     if spec.system == "rocksdb":
         db = DbImpl(env, opts, ssd.block, cpu, name="rocksdb",
                     page_cache_bytes=cache)
-    elif spec.system == "adoc":
+    else:
         # ADOC(n) starts from n compaction threads and may double them under
         # pressure — its dynamic range scales with the configured baseline,
         # which is what separates ADOC(1) from ADOC(4) in Fig 12.
@@ -133,15 +198,6 @@ def build_system(env: Environment, profile: ExperimentProfile, spec: RunSpec):
                     tuner_config=AdocTunerConfig(
                         interval=profile.adoc_interval,
                         max_compaction_threads=spec.compaction_threads * 2))
-    else:
-        rb = RollbackConfig(scheme=spec.rollback,
-                            period=profile.rollback_period,
-                            quiet_window=profile.rollback_quiet_window)
-        db = KvaccelDb(env, opts, ssd, cpu, name="kvaccel",
-                       rollback=rb,
-                       detector_config=copy.deepcopy(profile.detector),
-                       page_cache_bytes=cache,
-                       resilience=profile.resilience)
     return db, ssd, cpu
 
 
@@ -260,7 +316,7 @@ def run_workload(
         host_cpu=cpu,
         pcie_ledger=ssd.pcie.ledger,
     )
-    result.extra["snapshot"] = (db.snapshot() if isinstance(db, KvaccelDb)
+    result.extra["snapshot"] = (db.snapshot() if hasattr(db, "snapshot")
                                 else main.property_snapshot())
     result.extra["spec"] = spec
     result.extra["profile"] = profile.name
@@ -269,6 +325,12 @@ def run_workload(
     if isinstance(db, KvaccelDb):
         result.extra["redirected_writes"] = db.controller.redirected_writes
         result.extra["rollbacks"] = db.rollback_manager.rollback_count
+    elif isinstance(db, ClusterDb):
+        result.extra["redirected_writes"] = sum(
+            sh.db.controller.redirected_writes for sh in db.shards)
+        result.extra["rollbacks"] = sum(
+            sh.db.rollback_manager.rollback_count for sh in db.shards)
+        result.extra["cluster"] = db.cluster_report()
     if isinstance(driver, SeekRandomDriver):
         result.extra["seeks"] = driver.seeks
         result.extra["entries_scanned"] = driver.entries_scanned

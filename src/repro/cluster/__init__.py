@@ -1,0 +1,52 @@
+"""repro.cluster: a sharded multi-tenant serving layer over KVACCEL.
+
+N independent KVACCEL shard instances in one DES world, a deterministic
+key-space router in front of them, and an open-loop client population
+driving skewed multi-tenant traffic — the substrate every cluster-level
+question (shard-count scaling, hot shards, tenant isolation under
+partial failure) is asked on.  See MODEL.md's "Cluster clock" note for
+the determinism contract.
+"""
+
+from .chaos import ShardScopedPlan, arm_shard
+from .cluster import (
+    ClusterCpuView,
+    ClusterDb,
+    ClusterFabric,
+    ClusterShard,
+    shard_process_name,
+)
+from .population import (
+    KEY_SKEWS,
+    TRAFFIC_SHAPES,
+    ClientPopulation,
+    TenantSpec,
+    TokenBucket,
+)
+from .router import (
+    ROUTER_POLICIES,
+    HashRouter,
+    RangeRouter,
+    Router,
+    make_router,
+)
+
+__all__ = [
+    "ClusterDb",
+    "ClusterShard",
+    "ClusterFabric",
+    "ClusterCpuView",
+    "shard_process_name",
+    "Router",
+    "HashRouter",
+    "RangeRouter",
+    "make_router",
+    "ROUTER_POLICIES",
+    "ClientPopulation",
+    "TenantSpec",
+    "TokenBucket",
+    "TRAFFIC_SHAPES",
+    "KEY_SKEWS",
+    "ShardScopedPlan",
+    "arm_shard",
+]

@@ -1,0 +1,490 @@
+"""ClusterDb: N independent KVACCEL shard instances in one DES world.
+
+Each shard is a complete, share-nothing KVACCEL stack — its own host CPU,
+its own hybrid SSD, its own Main-LSM, detector, controller and rollback
+daemon — all scheduled on one shared :class:`~repro.sim.Environment`, so a
+single simulated clock orders every event across the fleet.  A
+:class:`~repro.cluster.router.Router` decides key ownership; the facade
+mirrors the single-instance data plane (``put``/``put_batch``/``get``/
+``delete``/``scan``) so every existing driver — and the whole ``repro.bench``
+harness — runs against a cluster unchanged.
+
+Determinism contract (MODEL.md "Cluster clock"):
+
+* routing is a pure function of the key (no RNG draw at route time);
+* a batch spanning shards fans out as one sub-process per shard, spawned
+  in ascending shard-id order, and joins on an ``AllOf`` — results are
+  merged in *spec order* (shard id), never completion order;
+* a single-shard cluster routes every call straight through
+  (``yield from``) with no extra processes or events, so its trajectory
+  is bit-identical to the plain single-instance system — the differential
+  oracle the golden-trajectory tests pin.
+
+Shard-scoped processes are named ``shard<N>.<op>`` — the hook
+:class:`~repro.cluster.chaos.ShardScopedPlan` uses to aim fault
+injection at exactly one shard of the fleet.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Optional
+
+from ..core import KvaccelDb
+from ..metrics import LatencyHistogram
+from ..resil import DEGRADED, HEALTHY
+from ..sim import Environment
+from .router import Router
+
+__all__ = ["ClusterDb", "ClusterShard", "ClusterFabric", "ClusterCpuView",
+           "shard_process_name"]
+
+
+def shard_process_name(sid: int, op: str) -> str:
+    """Canonical name for a process doing shard-``sid`` work.
+
+    Fault plans scope by this prefix (``shard<N>.``), so every process the
+    cluster or population spawns on behalf of a shard must go through
+    here.
+    """
+    return f"shard{sid}.{op}"
+
+
+class _TeeHistogram:
+    """Fan one ``record`` stream into several histograms.
+
+    Used to keep the per-shard latency view alive while a RunCollector's
+    aggregate histogram is attached on top: recording is pure Python with
+    no Environment interaction, so teeing never perturbs a trajectory.
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, *sinks):
+        self.sinks = [s for s in sinks if s is not None]
+
+    def record(self, value: float, count: int = 1) -> None:
+        for s in self.sinks:
+            s.record(value, count)
+
+
+class ClusterShard:
+    """One shard: a full KVACCEL stack plus its cluster-side bookkeeping."""
+
+    def __init__(self, sid: int, db: KvaccelDb, ssd, cpu):
+        self.sid = sid
+        self.name = f"shard{sid}"
+        self.db = db
+        self.ssd = ssd
+        self.cpu = cpu
+        # Shard-local latency views (microseconds, like DbStats' hooks).
+        self.write_hist = LatencyHistogram()
+        self.read_hist = LatencyHistogram()
+        db.stats.write_latencies = self.write_hist
+        db.stats.read_latencies = self.read_hist
+        # Facade-side op counters (also feed hot-shard detection).
+        self.write_ops = 0
+        self.read_ops = 0
+
+    # -- health ------------------------------------------------------------
+    @property
+    def resil_state(self) -> str:
+        return self.db.resil.state if self.db.resil is not None else HEALTHY
+
+    @property
+    def degraded(self) -> bool:
+        return self.resil_state == DEGRADED
+
+    # -- derived metrics ----------------------------------------------------
+    def write_amplification(self) -> float:
+        """Device write amplification: (flush + compaction bytes written)
+        over user bytes — the per-shard spread the scaling report shows
+        (VAT's cost-model lens: WA variance is what makes shard-count
+        curves interpretable)."""
+        s = self.db.stats
+        if s.user_write_bytes == 0:
+            return 0.0
+        return ((s.flush_bytes_written + s.compaction_bytes_written)
+                / s.user_write_bytes)
+
+    def report(self) -> dict:
+        """Plain-data per-shard summary (picklable: crosses worker
+        processes inside RunResult.extra)."""
+        wc = self.db.write_controller
+        doc = {
+            "sid": self.sid,
+            "write_ops": self.write_ops,
+            "read_ops": self.read_ops,
+            "redirected_writes": self.db.controller.redirected_writes,
+            "rollbacks": self.db.rollback_manager.rollback_count,
+            "stall_events": wc.stall_events,
+            "slowdown_events": wc.slowdown_events,
+            "total_stall_time": wc.total_stall_time,
+            "write_amplification": self.write_amplification(),
+            "resil_state": self.resil_state,
+            "write_latency": (self.write_hist.summary()
+                              if self.write_hist.total_count else None),
+            "read_latency": (self.read_hist.summary()
+                             if self.read_hist.total_count else None),
+        }
+        return doc
+
+
+class _ClusterStats:
+    """DbStats facade: attaching a collector's histograms tees them onto
+    every shard's stats without losing the per-shard view."""
+
+    def __init__(self, cluster: "ClusterDb"):
+        self._cluster = cluster
+        self._write_latencies = None
+        self._read_latencies = None
+
+    @property
+    def write_latencies(self):
+        return self._write_latencies
+
+    @write_latencies.setter
+    def write_latencies(self, hist) -> None:
+        self._write_latencies = hist
+        for sh in self._cluster.shards:
+            sh.db.stats.write_latencies = _TeeHistogram(sh.write_hist, hist)
+
+    @property
+    def read_latencies(self):
+        return self._read_latencies
+
+    @read_latencies.setter
+    def read_latencies(self, hist) -> None:
+        self._read_latencies = hist
+        for sh in self._cluster.shards:
+            sh.db.stats.read_latencies = _TeeHistogram(sh.read_hist, hist)
+
+    def __getattr__(self, name):
+        # Cumulative counters sum across the fleet.
+        total = 0
+        for sh in self._cluster.shards:
+            total += getattr(sh.db.stats, name)
+        return total
+
+
+class _ClusterWriteController:
+    """Aggregate view over the shards' write controllers.
+
+    RunCollector reads exactly these fields; for a 1-shard cluster every
+    value equals the underlying controller's, keeping the golden
+    trajectory pinned.
+    """
+
+    def __init__(self, cluster: "ClusterDb"):
+        self._cluster = cluster
+
+    def _wcs(self):
+        return [sh.db.write_controller for sh in self._cluster.shards]
+
+    def finalize(self) -> None:
+        for wc in self._wcs():
+            wc.finalize()
+
+    @property
+    def stall_intervals(self) -> list:
+        merged = list(heapq.merge(*(wc.stall_intervals for wc in self._wcs())))
+        return merged
+
+    @property
+    def stall_events(self) -> int:
+        return sum(wc.stall_events for wc in self._wcs())
+
+    @property
+    def slowdown_events(self) -> int:
+        return sum(wc.slowdown_events for wc in self._wcs())
+
+    @property
+    def total_stall_time(self) -> float:
+        return sum(wc.total_stall_time for wc in self._wcs())
+
+    @property
+    def total_delayed_time(self) -> float:
+        return sum(wc.total_delayed_time for wc in self._wcs())
+
+    def breakdown(self) -> dict:
+        out: dict[str, dict] = {}
+        for wc in self._wcs():
+            for section, counters in wc.breakdown().items():
+                acc = out.setdefault(section, {})
+                for reason, v in counters.items():
+                    acc[reason] = acc.get(reason, 0) + v
+        return out
+
+
+class _SummedLedger:
+    """Read-only sum of per-shard TrafficLedgers, bucket-aligned.
+
+    All shards share one ledger bucket size (they come from the same
+    profile), so summing by bucket index is exact."""
+
+    def __init__(self, ledgers: list):
+        self._ledgers = ledgers
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(l.total_bytes for l in self._ledgers)
+
+    def series(self, t_end: Optional[float] = None):
+        times: list = []
+        values: list = []
+        for led in self._ledgers:
+            t, v = led.series(t_end=t_end)
+            if len(t) > len(times):
+                values.extend(0.0 for _ in range(len(t) - len(values)))
+                times = t
+            for i, x in enumerate(v):
+                values[i] += x
+        return times, values
+
+    def bytes_in(self, t0: float, t1: float) -> float:
+        return sum(l.bytes_in(t0, t1) for l in self._ledgers)
+
+
+class _PcieView:
+    def __init__(self, ledger: _SummedLedger):
+        self.ledger = ledger
+
+
+class ClusterFabric:
+    """The ``ssd``-shaped object a multi-shard run hands the harness:
+    fleet-total PCIe traffic (per-shard links summed per bucket)."""
+
+    def __init__(self, shards: list):
+        self.shards = shards
+        self.pcie = _PcieView(_SummedLedger(
+            [sh.ssd.pcie.ledger for sh in shards]))
+
+
+class ClusterCpuView:
+    """The ``cpu``-shaped harness object: mean utilisation across the
+    shard hosts (each shard has its own host CPU)."""
+
+    def __init__(self, shards: list):
+        self.shards = shards
+        self.cores = sum(sh.cpu.cores for sh in shards)
+
+    def utilization(self, t0: float, t1: float) -> float:
+        cpus = [sh.cpu for sh in self.shards]
+        return sum(c.utilization(t0, t1) for c in cpus) / len(cpus)
+
+
+class ClusterDb:
+    """The sharded serving layer: one facade over N KVACCEL shards."""
+
+    def __init__(self, env: Environment, shards: list, router: Router,
+                 name: str = "cluster"):
+        """``shards`` is ``[(KvaccelDb, ssd, cpu), ...]`` in shard-id
+        order; ``router.shards`` must match its length."""
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        if router.shards != len(shards):
+            raise ValueError(
+                f"router is for {router.shards} shards, got {len(shards)}")
+        self.env = env
+        self.name = name
+        self.router = router
+        self.shards = [ClusterShard(i, db, ssd, cpu)
+                       for i, (db, ssd, cpu) in enumerate(shards)]
+        self._single = self.shards[0] if len(self.shards) == 1 else None
+        self.stats = _ClusterStats(self)
+        self.write_controller = _ClusterWriteController(self)
+        self._register_telemetry()
+
+    # -- data plane ---------------------------------------------------------
+    def put(self, key: bytes, value) -> Generator:
+        sh = self.shards[self.router.route(key)]
+        sh.write_ops += 1
+        self._tel_add(sh, "write_ops", 1)
+        yield from sh.db.put(key, value)
+
+    def delete(self, key: bytes) -> Generator:
+        sh = self.shards[self.router.route(key)]
+        sh.write_ops += 1
+        self._tel_add(sh, "write_ops", 1)
+        yield from sh.db.delete(key)
+
+    def get(self, key: bytes) -> Generator:
+        sh = self.shards[self.router.route(key)]
+        sh.read_ops += 1
+        self._tel_add(sh, "read_ops", 1)
+        value = yield from sh.db.get(key)
+        return value
+
+    def put_batch(self, pairs: list) -> Generator:
+        """Group-commit a batch across its owning shards.
+
+        Single-shard clusters take the transparent pass-through (identical
+        event sequence to the plain system).  Multi-shard batches fan out
+        as one named process per owning shard — spawned in ascending shard
+        id order — and join on AllOf, so sub-batches are serviced
+        concurrently in simulated time and the facade returns when the
+        slowest shard acks (the cluster-level group-commit latency).
+        """
+        single = self._single
+        if single is not None:
+            single.write_ops += len(pairs)
+            self._tel_add(single, "write_ops", len(pairs))
+            yield from single.db.put_batch(pairs)
+            return
+        parts = self.router.split_batch(pairs)
+        if len(parts) == 1:
+            # One owning shard: still isolate the work in a shard-named
+            # process so fault scoping and interleaving match the general
+            # fan-out path.
+            sid, sub = parts[0]
+            sh = self.shards[sid]
+            sh.write_ops += len(sub)
+            self._tel_add(sh, "write_ops", len(sub))
+            yield self.env.process(sh.db.put_batch(sub),
+                                   name=shard_process_name(sid, "put_batch"))
+            return
+        procs = []
+        for sid, sub in parts:           # ascending sid: spec order
+            sh = self.shards[sid]
+            sh.write_ops += len(sub)
+            self._tel_add(sh, "write_ops", len(sub))
+            procs.append(self.env.process(
+                sh.db.put_batch(sub),
+                name=shard_process_name(sid, "put_batch")))
+        yield self.env.all_of(procs)
+
+    def scan(self, start_key: bytes, count: int) -> Generator:
+        """Cluster range query: per-shard scans merged in key order.
+
+        With a range router only shards whose range can intersect
+        ``[start_key, ...)`` are visited; a hash router scatters keys, so
+        every shard is.  Shard scans run as concurrent named processes
+        (ascending sid) and the merge is by key — each key lives on
+        exactly one shard, so the merged stream has no duplicates.
+        """
+        single = self._single
+        if single is not None:
+            single.read_ops += 1
+            self._tel_add(single, "read_ops", 1)
+            out = yield from single.db.scan(start_key, count)
+            return out
+        start = int.from_bytes(start_key, "big")
+        targets = []
+        for sh in self.shards:
+            ranges = getattr(self.router, "ranges", None)
+            if ranges is not None:
+                lo, hi = self.router.ranges()[sh.sid]
+                last = sh.sid == len(self.shards) - 1
+                if not last and hi <= start:
+                    continue        # entirely below the scan start
+            targets.append(sh)
+        procs = [self.env.process(sh.db.scan(start_key, count),
+                                  name=shard_process_name(sh.sid, "scan"))
+                 for sh in targets]
+        for sh in targets:
+            sh.read_ops += 1
+            self._tel_add(sh, "read_ops", 1)
+        results = yield self.env.all_of(procs)
+        rows = heapq.merge(*(results[p] for p in procs))
+        return list(rows)[:count] if count is not None else list(rows)
+
+    # -- lifecycle -----------------------------------------------------------
+    def wait_for_quiesce(self, poll: float = 0.01) -> Generator:
+        for sh in self.shards:
+            yield from sh.db.wait_for_quiesce(poll)
+
+    def final_rollback(self) -> Generator:
+        for sh in self.shards:
+            yield from sh.db.final_rollback()
+
+    def close(self) -> None:
+        for sh in self.shards:
+            sh.db.close()
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def degraded_shards(self) -> int:
+        return sum(1 for sh in self.shards if sh.degraded)
+
+    def hot_shard(self, factor: float = 2.0) -> int:
+        """Index of the shard whose cumulative op share exceeds ``factor``
+        times the fleet mean, or -1 when the fleet is balanced."""
+        totals = [sh.write_ops + sh.read_ops for sh in self.shards]
+        fleet = sum(totals)
+        if fleet == 0 or len(totals) < 2:
+            return -1
+        mean = fleet / len(totals)
+        hottest = max(range(len(totals)), key=totals.__getitem__)
+        return hottest if totals[hottest] > factor * mean else -1
+
+    def aggregate_latency(self, which: str = "write") -> Optional[dict]:
+        """Fleet-wide latency summary: per-shard histograms merged."""
+        agg = LatencyHistogram()
+        for sh in self.shards:
+            agg.merge(sh.write_hist if which == "write" else sh.read_hist)
+        return agg.summary() if agg.total_count else None
+
+    def snapshot(self) -> dict:
+        return {
+            "shards": self.shard_count,
+            "router": type(self.router).__name__,
+            "degraded_shards": self.degraded_shards(),
+            "hot_shard": self.hot_shard(),
+            "per_shard": [sh.db.snapshot() for sh in self.shards],
+        }
+
+    def cluster_report(self) -> dict:
+        """The scaling-report payload: per-shard rows + fleet aggregates."""
+        per_shard = [sh.report() for sh in self.shards]
+        was = [row["write_amplification"] for row in per_shard]
+        return {
+            "shards": self.shard_count,
+            "router": type(self.router).__name__,
+            "per_shard": per_shard,
+            "aggregate_write_latency": self.aggregate_latency("write"),
+            "aggregate_read_latency": self.aggregate_latency("read"),
+            "degraded_shards": self.degraded_shards(),
+            "hot_shard": self.hot_shard(),
+            "write_amplification": {
+                "min": min(was) if was else 0.0,
+                "max": max(was) if was else 0.0,
+                "mean": sum(was) / len(was) if was else 0.0,
+            },
+        }
+
+    # -- telemetry -------------------------------------------------------------
+    def _tel_add(self, shard: ClusterShard, which: str, n: int) -> None:
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.add(f"cluster.{shard.name}.{which}", n)
+
+    def _register_telemetry(self) -> None:
+        """Per-shard channels on the shared hub (no-op when disabled).
+
+        The single-instance publishers (``lsm.*``, ``wc.*``, ``pcie.*``...)
+        use fixed channel names, so in a multi-shard world their *rate*
+        channels become fleet aggregates and their *gauge* channels stay
+        bound to whichever shard registered first (shard 0).  The
+        ``cluster.*`` namespace is the per-shard view: facade-fed op
+        rates plus gauges/derivs reading each shard's objects directly.
+        """
+        tel = self.env.telemetry
+        if tel is None:
+            return
+        from ..resil.degrade import STATE_GAUGE
+        for sh in self.shards:
+            tel.rate(f"cluster.{sh.name}.write_ops")
+            tel.rate(f"cluster.{sh.name}.read_ops")
+            wc = sh.db.write_controller
+            tel.deriv(f"cluster.{sh.name}.stall_time",
+                      lambda wc=wc: wc.total_stall_time)
+            tel.gauge(f"cluster.{sh.name}.devlsm_bytes",
+                      lambda sh=sh: sh.ssd.devlsm.total_bytes)
+            tel.gauge(f"cluster.{sh.name}.resil_state",
+                      lambda sh=sh: STATE_GAUGE[sh.resil_state])
+        tel.gauge("cluster.degraded_shards",
+                  lambda: float(self.degraded_shards()))
+        tel.gauge("cluster.hot_shard", lambda: float(self.hot_shard()))

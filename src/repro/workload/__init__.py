@@ -7,7 +7,14 @@ from .db_bench import (
     SeekRandomDriver,
     fill_database,
 )
-from .keygen import KeyGenerator, RandomKeys, SequentialKeys, ZipfianKeys, value_for
+from .keygen import (
+    HotspotKeys,
+    KeyGenerator,
+    RandomKeys,
+    SequentialKeys,
+    ZipfianKeys,
+    value_for,
+)
 from .trace import Trace, TraceOp, TraceRecorder, TraceReplayDriver
 from .spec import WORKLOADS, WorkloadSpec
 
@@ -17,6 +24,7 @@ __all__ = [
     "ReadWhileWritingDriver",
     "SeekRandomDriver",
     "fill_database",
+    "HotspotKeys",
     "KeyGenerator",
     "RandomKeys",
     "SequentialKeys",

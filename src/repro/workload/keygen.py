@@ -14,7 +14,7 @@ from typing import Iterator
 from ..types import ValueRef, encode_key
 
 __all__ = ["KeyGenerator", "RandomKeys", "SequentialKeys", "ZipfianKeys",
-           "value_for"]
+           "HotspotKeys", "value_for"]
 
 
 class KeyGenerator:
@@ -56,10 +56,20 @@ class SequentialKeys(KeyGenerator):
 
 
 class ZipfianKeys(KeyGenerator):
-    """Zipf-distributed keys (YCSB-style hot-spot reads).
+    """Zipf-distributed keys, YCSB-style — for reads *and* writes.
 
-    Uses the Gray et al. rejection-free method over a precomputed harmonic
-    table for small spaces, falling back to numpy-free inverse sampling.
+    The generator is op-agnostic: it emits a key stream where rank ``r``
+    appears with probability proportional to ``1/r**theta``, and callers
+    decide what to do with each key.  Skewed *writes* are exactly what a
+    multi-tenant serving population sends at an LSM store (a hot shard is
+    a write-skew phenomenon), so the cluster layer's tenants draw from
+    this stream for puts as well as gets; the regression test in
+    ``tests/workload/test_zipfian_skew.py`` pins the top-1% key mass the
+    population model relies on.
+
+    Uses the Gray et al. closed-form inverse-transform sampler (the
+    YCSB ``ZipfianGenerator`` recurrence) — no harmonic table walk per
+    draw, one uniform variate per key.
     """
 
     def __init__(self, key_space: int, key_size: int = 4, theta: float = 0.99,
@@ -91,6 +101,40 @@ class ZipfianKeys(KeyGenerator):
 
     def next_key(self) -> bytes:
         rank = min(self.next_rank(), self.key_space - 1)
+        return encode_key(rank, self.key_size)
+
+
+class HotspotKeys(KeyGenerator):
+    """YCSB hotspot distribution: ``hot_mass`` of ops hit the first
+    ``hot_fraction`` of the key space uniformly; the rest spread uniformly
+    over the cold remainder.  A blunter skew than Zipf — two flat tiers —
+    which makes "all heat on one range" scenarios easy to aim at a single
+    range-routed shard."""
+
+    def __init__(self, key_space: int, key_size: int = 4,
+                 hot_fraction: float = 0.1, hot_mass: float = 0.9,
+                 seed: int = 1):
+        if key_space < 1:
+            raise ValueError("key_space must be >= 1")
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0.0 < hot_mass < 1.0:
+            raise ValueError("hot_mass must be in (0, 1)")
+        self.key_space = key_space
+        self.key_size = key_size
+        self.hot_fraction = hot_fraction
+        self.hot_mass = hot_mass
+        self.hot_count = max(1, int(key_space * hot_fraction))
+        self._rng = random.Random(seed)
+
+    def next_key(self) -> bytes:
+        rng = self._rng
+        if rng.random() < self.hot_mass:
+            rank = rng.randrange(self.hot_count)
+        else:
+            rank = self.hot_count + rng.randrange(
+                max(1, self.key_space - self.hot_count))
+            rank = min(rank, self.key_space - 1)
         return encode_key(rank, self.key_size)
 
 

@@ -1,0 +1,74 @@
+"""Differential oracle: a 1-shard cluster IS the single-instance system.
+
+The cluster facade promises to be a zero-cost wrapper: with one shard,
+every data-plane call passes straight through (``yield from``, no spawned
+processes, no extra events), so the full simulated trajectory — every
+sampled series, latency percentile, stall interval — must be *bit
+identical* to the pinned single-instance fig11 golden run.  Only the
+display name may differ ("Cluster(1)" vs "KVAccel(1)").
+
+If this fails, the facade leaked simulation work into the 1-shard path
+(an extra event, a reordered construction step) and every cluster result
+is suspect — fix the facade, never regenerate the golden for this.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from helpers import make_cluster_system, run, small_kvaccel  # noqa: E402
+
+from repro.bench import RunSpec, mini_profile, run_workload  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.types import encode_key  # noqa: E402
+
+GOLDEN = (Path(__file__).resolve().parents[1] / "data"
+          / "golden_fig11_cell.json")
+
+
+def test_one_shard_cluster_matches_pinned_golden_trajectory():
+    result = run_workload(
+        RunSpec("cluster", "A", 1, rollback="disabled", shards=1),
+        mini_profile(256))
+    produced = json.loads(json.dumps(result.to_json()))
+    golden = json.loads(GOLDEN.read_text())
+    assert set(produced) == set(golden)
+    for field in golden:
+        if field == "name":
+            assert produced[field] == "Cluster(1)"
+            continue
+        assert produced[field] == golden[field], (
+            f"1-shard cluster diverged from the single-instance golden in "
+            f"field {field!r} — the facade is not a zero-cost wrapper")
+
+
+def test_one_shard_cluster_matches_plain_kvaccel_reads():
+    """Same ops through a 1-shard cluster and a bare KvaccelDb read back
+    identically (the small-system form of the differential oracle)."""
+    env_a = Environment()
+    db, _, _ = small_kvaccel(env_a, rollback="disabled")
+    env_b = Environment()
+    cluster, _ = make_cluster_system(env_b, shards=1, rollback="disabled")
+
+    keys = [encode_key(i, 4) for i in range(48)]
+
+    def drive(target):
+        for i, k in enumerate(keys):
+            yield from target.put(k, b"v%03d" % i)
+        yield from target.put_batch(
+            [(k, b"b%03d" % i) for i, k in enumerate(keys[:16])])
+        out = []
+        for k in keys:
+            out.append((yield from target.get(k)))
+        return out
+
+    got_a = run(env_a, drive(db))
+    got_b = run(env_b, drive(cluster))
+    assert got_a == got_b
+    assert env_a.now == env_b.now, (
+        "1-shard cluster consumed different simulated time than the bare "
+        "system for the same ops")
+    db.close()
+    cluster.close()

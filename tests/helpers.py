@@ -102,6 +102,42 @@ def small_kvaccel(env: Environment, options: LsmOptions | None = None,
     return db, ssd, cpu
 
 
+def make_cluster_system(env: Environment, shards: int = 2,
+                        router: str = "hash", key_space: int = 1 << 16,
+                        seed: int = 0, rollback: str = "disabled",
+                        with_faults: bool = False, resilience=None,
+                        detector_period: float = 0.002,
+                        options: LsmOptions | None = None, **kw):
+    """N small share-nothing KVACCEL shards behind a ClusterDb.
+
+    Shards are named ``shard<N>`` (so their daemons carry the prefix
+    shard-scoped fault plans key on) and built in shard-id order — the
+    same construction contract as the bench runner's cluster branch.
+    Returns ``(cluster, registry)``; ``registry`` is a seeded
+    FaultRegistry when ``with_faults=True``, else ``None``.
+    """
+    from repro.cluster import ClusterDb, make_router
+    from repro.core import DetectorConfig, KvaccelDb
+
+    registry = None
+    if with_faults:
+        from repro.faults import FaultRegistry
+
+        registry = FaultRegistry(fault_seed(seed)).install(env)
+    parts = []
+    for sid in range(shards):
+        ssd, cpu = small_hybrid(env)
+        db = KvaccelDb(env, options or small_options(), ssd, cpu,
+                       name=f"shard{sid}", rollback=rollback,
+                       detector_config=DetectorConfig(
+                           period=detector_period),
+                       resilience=resilience, **kw)
+        parts.append((db, ssd, cpu))
+    cluster = ClusterDb(
+        env, parts, make_router(router, shards, key_space, seed=seed))
+    return cluster, registry
+
+
 def fault_seed(default: int | None = None) -> int:
     """The pinned fault/workload seed for this test run.
 

@@ -1,0 +1,66 @@
+"""Regression: pin the skew the cluster's client population relies on.
+
+``ZipfianKeys`` is documented (and now used) as an op-agnostic skewed key
+stream — the multi-tenant population draws *writes* from it, so its mass
+concentration is a load-bearing property: hot-shard detection and the
+isolation tests assume a theta=0.99 stream puts a large, stable fraction
+of ops on the top 1% of keys.  These tests pin that distribution (and
+HotspotKeys' two-tier analogue) so a sampler change can't silently turn
+skewed traffic uniform.
+"""
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.workload import HotspotKeys, ZipfianKeys  # noqa: E402
+
+N = 20_000
+KEY_SPACE = 10_000
+
+
+def _top_fraction_mass(counts: Counter, total: int, frac: float) -> float:
+    """Mass captured by the most-popular ``frac`` of the key space."""
+    top = max(1, int(KEY_SPACE * frac))
+    return sum(c for _, c in counts.most_common(top)) / total
+
+
+def test_zipfian_top1pct_mass_pinned():
+    keys = ZipfianKeys(KEY_SPACE, theta=0.99, seed=42)
+    counts = Counter(keys.next_key() for _ in range(N))
+    mass = _top_fraction_mass(counts, N, 0.01)
+    # YCSB zipfian theta=0.99 over 10k keys: the top 1% of keys carry a
+    # bit over half the mass.  Pin a band wide enough for sampler noise,
+    # tight enough that drifting toward uniform (top-1% mass ~= 1%) or
+    # degenerate point mass (~100%) fails loudly.
+    assert 0.45 <= mass <= 0.75, f"top-1% mass {mass:.3f} out of band"
+
+
+def test_zipfian_rank_ordering_and_range():
+    keys = ZipfianKeys(KEY_SPACE, theta=0.99, seed=7)
+    counts = Counter(int.from_bytes(keys.next_key(), "big")
+                     for _ in range(N))
+    assert all(0 <= k < KEY_SPACE for k in counts)
+    # rank 0 is the hottest key and beats the tail decisively
+    hottest = counts.most_common(1)[0][0]
+    assert hottest == 0
+    tail_avg = sum(c for k, c in counts.items() if k >= KEY_SPACE // 2)
+    assert counts[0] > 10 * max(1, tail_avg / (KEY_SPACE // 2))
+
+
+def test_zipfian_seed_stable():
+    a = ZipfianKeys(KEY_SPACE, theta=0.99, seed=11)
+    b = ZipfianKeys(KEY_SPACE, theta=0.99, seed=11)
+    assert [a.next_key() for _ in range(500)] == [
+        b.next_key() for _ in range(500)]
+
+
+def test_hotspot_mass_lands_on_hot_set():
+    keys = HotspotKeys(KEY_SPACE, hot_fraction=0.01, hot_mass=0.9, seed=3)
+    hot_count = keys.hot_count
+    hits = sum(1 for _ in range(N)
+               if int.from_bytes(keys.next_key(), "big") < hot_count)
+    mass = hits / N
+    assert 0.87 <= mass <= 0.93, f"hot-set mass {mass:.3f} not ~0.9"
