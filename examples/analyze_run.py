@@ -15,6 +15,11 @@ top-5 longest spans per category plus the per-stall attribution table.
 With ``--health`` it runs a stall-prone RocksDB(1)-w/o-slowdown cell and
 a KVACCEL cell with the telemetry hub + health rules enabled, then prints
 each cell's HealthEvent timeline — the SLO-rule view of the same run.
+
+With ``--lineage`` it runs the same two cells with the latency-lineage
+profiler and prints each cell's percentile-conditioned critical-path
+decomposition — which segment (stall / wal / queue / nand / ...) the
+p50/p90/p99 latency actually went to, plus the slowest-op span trees.
 """
 
 import argparse
@@ -74,6 +79,25 @@ def analyze_health() -> None:
         print()
 
 
+def analyze_lineage() -> None:
+    """Run a stall-prone cell and a KVACCEL cell; print lineage tables."""
+    from repro.bench.runner import run_workload
+    from repro.obs import check_lineage_invariant, lineage_report
+
+    profile = mini_profile(256)
+    for spec in [RunSpec("rocksdb", "A", 1, slowdown=False),
+                 RunSpec("kvaccel", "A", 1, rollback="disabled")]:
+        result = run_workload(spec, profile, lineage=True)
+        lin = result.extra["lineage"]
+        print(lineage_report(lin["ops"], title=spec.display,
+                             exemplars=lin["exemplars"]))
+        problems = check_lineage_invariant(lin["ops"])
+        print(f"  invariant (sum(segments) == e2e): "
+              f"{'OK' if not problems else 'VIOLATED'} "
+              f"over {lin['op_count']} ops")
+        print()
+
+
 parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
 parser.add_argument("--trace", metavar="FILE", default=None,
                     help="analyze a recorded Chrome trace instead of "
@@ -81,12 +105,18 @@ parser.add_argument("--trace", metavar="FILE", default=None,
 parser.add_argument("--health", action="store_true",
                     help="run with telemetry + health rules and print the "
                          "HealthEvent timeline instead of the byte tables")
+parser.add_argument("--lineage", action="store_true",
+                    help="run with the latency-lineage profiler and print "
+                         "the percentile-conditioned segment decomposition")
 args = parser.parse_args()
 if args.trace:
     analyze_trace(args.trace)
     raise SystemExit(0)
 if args.health:
     analyze_health()
+    raise SystemExit(0)
+if args.lineage:
+    analyze_lineage()
     raise SystemExit(0)
 
 profile = mini_profile(256)

@@ -74,6 +74,12 @@ def main(argv=None) -> int:
                              "experiment (telemetry + health enabled); "
                              "PATH may be a file (single experiment) or "
                              "a directory")
+    parser.add_argument("--lineage", action="store_true",
+                        help="run with the latency-lineage profiler and "
+                             "print a percentile-conditioned segment "
+                             "decomposition per cell (with --json, also "
+                             "write LINEAGE_<exp>.json next to the "
+                             "baseline)")
     args = parser.parse_args(argv)
     if args.report and not args.trace:
         parser.error("--report requires --trace")
@@ -101,6 +107,7 @@ def main(argv=None) -> int:
                                               len(names) > 1)
                         if args.trace else None),
             telemetry=args.json_out is not None,
+            lineage=args.lineage,
         )
         # Experiment-specific knobs ride through only where accepted, so
         # `all --shards 1,2` doesn't trip experiments without that axis.
@@ -119,6 +126,30 @@ def main(argv=None) -> int:
         traces.extend(r.extra["trace_path"]
                       for r in out.get("results", {}).values()
                       if "trace_path" in r.extra)
+        if args.lineage:
+            from ..obs import lineage_report
+            lineage_cells = {}
+            for label, r in out.get("results", {}).items():
+                lin = r.extra.get("lineage")
+                if not lin or not lin.get("ops"):
+                    continue
+                lineage_cells[label] = lin
+                print()
+                print(lineage_report(lin["ops"],
+                                     title=f"{name} / {label}",
+                                     exemplars=lin.get("exemplars")))
+            if args.json_out is not None and lineage_cells:
+                import json as _json
+                base = (Path(args.json_out) if args.json_out
+                        and Path(args.json_out).is_dir()
+                        else Path("benchmarks"))
+                base.mkdir(parents=True, exist_ok=True)
+                lpath = base / f"LINEAGE_{name}.json"
+                lpath.write_text(_json.dumps(
+                    {"schema": "repro-lineage", "version": 1,
+                     "experiment": name, "cells": lineage_cells},
+                    indent=2, sort_keys=True) + "\n")
+                print(f"\nwrote {lpath}")
         if args.json_out is not None:
             from .baseline import (build_baseline, default_baseline_path,
                                    write_baseline)

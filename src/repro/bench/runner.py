@@ -22,8 +22,9 @@ from ..core import KvaccelDb, RollbackConfig
 from ..device import CpuModel, HybridSsd
 from ..lsm import DbImpl
 from ..metrics import RunCollector, RunResult
-from ..obs import HealthMonitor, TelemetryHub, Tracer, default_rules, write_chrome_trace
-from ..sim import Environment
+from ..obs import (HealthMonitor, LineageProfiler, TelemetryHub, Tracer,
+                   cluster_shard_rules, default_rules, write_chrome_trace)
+from ..sim import Environment, install_kernel_profiler, uninstall_kernel_profiler
 from ..workload import (
     DriverConfig,
     FillRandomDriver,
@@ -65,11 +66,18 @@ class RunOptions:
                      in its experiment's spec order (deterministic under
                      parallelism, unlike a shared counter).
     ``telemetry``  — run a TelemetryHub + health monitor per cell.
+    ``lineage``    — install a LineageProfiler per cell; the per-op
+                     decomposition lands in ``result.extra["lineage"]``
+                     (plain data, survives the fork boundary).
+    ``kernel_profile`` — install the DES kernel self-profiler per cell;
+                     counters land in ``result.extra["kernel_profile"]``.
     """
 
     jobs: int = 1
     trace_path: Optional[str] = None
     telemetry: bool = False
+    lineage: bool = False
+    kernel_profile: bool = False
 
 
 def cell_trace_path(base: str, label: str, seq: int) -> str:
@@ -215,6 +223,8 @@ def run_workload(
     sample_callback=None,
     options: Optional[RunOptions] = None,
     cell_index: int = 0,
+    lineage: bool = False,
+    kernel_profile: bool = False,
 ) -> RunResult:
     """Run one experiment cell and return its RunResult.
 
@@ -237,6 +247,9 @@ def run_workload(
     """
     wall_t0 = time.perf_counter()
     env = Environment()
+    kprof = None
+    if kernel_profile or (options is not None and options.kernel_profile):
+        kprof = install_kernel_profiler(env)
     cell_path = trace_path
     if (cell_path is None and tracer is None and options is not None
             and options.trace_path is not None):
@@ -253,12 +266,19 @@ def run_workload(
     monitor = None
     if hub is not None:
         hub.install(env)
-        rules = (health_rules if health_rules is not None
-                 else default_rules(
-                     period=profile.sample_period,
-                     device_peak_bw=profile.device_peak_bw,
-                     delayed_write_rate=profile.options.delayed_write_rate,
-                     value_size=profile.value_size))
+        if health_rules is not None:
+            rules = health_rules
+        else:
+            rules = default_rules(
+                period=profile.sample_period,
+                device_peak_bw=profile.device_peak_bw,
+                delayed_write_rate=profile.options.delayed_write_rate,
+                value_size=profile.value_size)
+            if spec.system == "cluster" and spec.shards > 1:
+                # Per-shard SLO instances on the cluster.shard{k}.* channels
+                # — a storming shard is named, not averaged away.
+                rules = rules + cluster_shard_rules(
+                    spec.shards, period=profile.sample_period)
         monitor = HealthMonitor(hub, rules)
         if sample_callback is not None:
             hub.on_sample(sample_callback)
@@ -282,6 +302,12 @@ def run_workload(
         env.run(until=p)
         main = _main_db(db)
         env.run(until=env.process(main.wait_for_quiesce()))
+
+    # Lineage installs after the preload so the fill phase does not
+    # pollute the measured op population.
+    lineage_prof = None
+    if lineage or (options is not None and options.lineage):
+        lineage_prof = LineageProfiler(env).install()
 
     collector = RunCollector(env, spec.display,
                              sample_period=profile.sample_period)
@@ -347,6 +373,11 @@ def run_workload(
         if cell_path is not None:
             write_chrome_trace(tracer, cell_path, label=spec.display)
             result.extra["trace_path"] = cell_path
+    if lineage_prof is not None:
+        result.extra["lineage"] = lineage_prof.to_dict()
+    if kprof is not None:
+        uninstall_kernel_profiler(env)
+        result.extra["kernel_profile"] = kprof.to_dict()
     wall = time.perf_counter() - wall_t0
     events = env.events_scheduled
     result.extra["wall_clock_s"] = wall

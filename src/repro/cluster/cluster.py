@@ -340,7 +340,10 @@ class ClusterDb:
             sh = self.shards[sid]
             sh.write_ops += len(sub)
             self._tel_add(sh, "write_ops", len(sub))
-            yield self.env.process(sh.db.put_batch(sub),
+            gen = sh.db.put_batch(sub)
+            if self.env.lineage is not None:
+                gen = self._shard_op(sid, gen, "put_batch", len(sub))
+            yield self.env.process(gen,
                                    name=shard_process_name(sid, "put_batch"))
             return
         procs = []
@@ -348,10 +351,29 @@ class ClusterDb:
             sh = self.shards[sid]
             sh.write_ops += len(sub)
             self._tel_add(sh, "write_ops", len(sub))
+            gen = sh.db.put_batch(sub)
+            if self.env.lineage is not None:
+                gen = self._shard_op(sid, gen, "put_batch", len(sub))
             procs.append(self.env.process(
-                sh.db.put_batch(sub),
-                name=shard_process_name(sid, "put_batch")))
+                gen, name=shard_process_name(sid, "put_batch")))
         yield self.env.all_of(procs)
+
+    def _shard_op(self, sid: int, gen: Generator, kind: str,
+                  count: int) -> Generator:
+        """Per-shard lineage: the spawned shard process records its own op
+        under scope ``cluster.shard{sid}`` (the channel-naming convention),
+        so the decomposition can be conditioned per shard.  Only wrapped
+        while a profiler is installed — profiler-off runs spawn the exact
+        original generator, preserving the pinned trajectories."""
+        lp = self.env.lineage
+        ctx = (lp.op_begin(kind, count=count, scope=f"cluster.shard{sid}")
+               if lp is not None else None)
+        try:
+            result = yield from gen
+        finally:
+            if lp is not None:
+                lp.op_end(ctx)
+        return result
 
     def scan(self, start_key: bytes, count: int) -> Generator:
         """Cluster range query: per-shard scans merged in key order.
@@ -378,8 +400,12 @@ class ClusterDb:
                 if not last and hi <= start:
                     continue        # entirely below the scan start
             targets.append(sh)
-        procs = [self.env.process(sh.db.scan(start_key, count),
-                                  name=shard_process_name(sh.sid, "scan"))
+        lineage_on = self.env.lineage is not None
+        procs = [self.env.process(
+            (self._shard_op(sh.sid, sh.db.scan(start_key, count),
+                            "scan", count or 0)
+             if lineage_on else sh.db.scan(start_key, count)),
+            name=shard_process_name(sh.sid, "scan"))
                  for sh in targets]
         for sh in targets:
             sh.read_ops += 1

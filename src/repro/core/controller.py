@@ -83,7 +83,14 @@ class KvaccelController:
         entries = [make_entry(k, s, v,
                               kind=KIND_DELETE if v is None else KIND_PUT)
                    for k, s, v in triples]
-        yield from self.main.write_entries(entries)
+        lp = self.env.lineage
+        if lp is not None:
+            lp.enter("degraded")
+        try:
+            yield from self.main.write_entries(entries)
+        finally:
+            if lp is not None:
+                lp.leave()
         for _ in entries:
             self.resil.record_fallback()
 
@@ -114,14 +121,21 @@ class KvaccelController:
                 seq = self.main.next_seq()
                 self.metadata.insert(key)
                 triples.append((key, seq, value))
-            if self.resil is None:
-                yield from self.kv.put_batch(triples)
-            else:
-                try:
+            lp = self.env.lineage
+            if lp is not None:
+                lp.enter("redirect")
+            try:
+                if self.resil is None:
                     yield from self.kv.put_batch(triples)
-                    self.resil.record_success()
-                except DeviceError as exc:
-                    yield from self._fallback(triples, exc)
+                else:
+                    try:
+                        yield from self.kv.put_batch(triples)
+                        self.resil.record_success()
+                    except DeviceError as exc:
+                        yield from self._fallback(triples, exc)
+            finally:
+                if lp is not None:
+                    lp.leave()
             self.redirected_writes += len(triples)
             tel = self.env.telemetry
             if tel is not None:
@@ -151,14 +165,21 @@ class KvaccelController:
                 yield from fault_point(self.env, "ctl.delete.redirect")
             seq = self.main.next_seq()
             self.metadata.insert(key)  # tombstone lives in Dev-LSM
-            if self.resil is None:
-                yield from self.kv.delete(key, seq)
-            else:
-                try:
+            lp = self.env.lineage
+            if lp is not None:
+                lp.enter("redirect")
+            try:
+                if self.resil is None:
                     yield from self.kv.delete(key, seq)
-                    self.resil.record_success()
-                except DeviceError as exc:
-                    yield from self._fallback([(key, seq, None)], exc)
+                else:
+                    try:
+                        yield from self.kv.delete(key, seq)
+                        self.resil.record_success()
+                    except DeviceError as exc:
+                        yield from self._fallback([(key, seq, None)], exc)
+            finally:
+                if lp is not None:
+                    lp.leave()
             self.redirected_writes += 1
         else:
             self._route("main")

@@ -111,10 +111,23 @@ class NandArray:
             dt += extra
         req = (self._res.request(priority=priority) if self.priority_scheduling
                else self._res.request())
+        lp = self.env.lineage
         with req:
-            yield req
+            if lp is not None:
+                lp.enter("queue")
+            try:
+                yield req
+            finally:
+                if lp is not None:
+                    lp.leave()
             t0 = self.env.now
-            yield self.env.timeout(dt)
+            if lp is not None:
+                lp.enter("nand")
+            try:
+                yield self.env.timeout(dt)
+            finally:
+                if lp is not None:
+                    lp.leave()
             self.busy_time += dt
             self.ledger.record(t0, self.env.now, nbytes)
         if err is not None:

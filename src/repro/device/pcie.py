@@ -138,11 +138,24 @@ class BandwidthPipe:
             action = touch(self.env, f"{self.name}.transfer")
             if action is not None and action.kind == DELAY:
                 injected_delay = action.delay
+        lp = self.env.lineage
         with self._res.request() as req:
-            yield req
+            if lp is not None:
+                lp.enter("queue")
+            try:
+                yield req
+            finally:
+                if lp is not None:
+                    lp.leave()
             t0 = self.env.now
             dt = self.service_time(nbytes) + injected_delay
-            yield self.env.timeout(dt)
+            if lp is not None:
+                lp.enter("pcie")
+            try:
+                yield self.env.timeout(dt)
+            finally:
+                if lp is not None:
+                    lp.leave()
             self.busy_time += dt
             if self.ledger is not None:
                 self.ledger.record(t0, self.env.now, nbytes)

@@ -293,7 +293,14 @@ class DbImpl:
         if tel is not None:
             tel.add("lsm.write_ops", len(entries))
         if self.mem.approximate_bytes >= opt.write_buffer_size:
-            yield from self._switch_memtable()
+            lp = self.env.lineage
+            if lp is not None:
+                lp.enter("memtable")
+            try:
+                yield from self._switch_memtable()
+            finally:
+                if lp is not None:
+                    lp.leave()
         if _sp is not None:
             tr.end(_sp, args={"held": held})
 

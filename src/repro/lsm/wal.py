@@ -83,15 +83,22 @@ class Wal:
         tr = env.tracer
         _sp = (tr.begin("wal", "wal.append", args={"bytes": nbytes})
                if tr is not None else None)
-        if env.faults is not None:
-            # Pre-persistence: nothing of this record is buffered yet.
-            yield from fault_point(env, "wal.append")
-        self._buffer += nbytes
-        self.appended_bytes += nbytes
-        if records:
-            self._buffered_records.extend(records)
-        if self._buffer >= self.group_commit_bytes:
-            yield from self._flush()
+        lp = env.lineage
+        if lp is not None:
+            lp.enter("wal")
+        try:
+            if env.faults is not None:
+                # Pre-persistence: nothing of this record is buffered yet.
+                yield from fault_point(env, "wal.append")
+            self._buffer += nbytes
+            self.appended_bytes += nbytes
+            if records:
+                self._buffered_records.extend(records)
+            if self._buffer >= self.group_commit_bytes:
+                yield from self._flush()
+        finally:
+            if lp is not None:
+                lp.leave()
         if _sp is not None:
             tr.end(_sp)
 

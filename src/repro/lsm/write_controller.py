@@ -225,7 +225,14 @@ class WriteController:
             if self.state == WriteState.STOPPED:
                 t0 = self.env.now
                 assert self._clear_event is not None
-                yield self._clear_event
+                lp = self.env.lineage
+                if lp is not None:
+                    lp.enter("stall")
+                try:
+                    yield self._clear_event
+                finally:
+                    if lp is not None:
+                        lp.leave()
                 held += self.env.now - t0
                 continue  # conditions may have re-degraded
             if self.state == WriteState.DELAYED and opt.slowdown_enabled:
@@ -238,10 +245,17 @@ class WriteController:
                     # nap in slowdown_sleep quanta like RocksDB's 1 ms sleeps
                     t0 = now
                     remaining = wait
-                    while remaining > 0:
-                        nap = min(opt.slowdown_sleep, remaining)
-                        yield self.env.timeout(nap)
-                        remaining -= nap
+                    lp = self.env.lineage
+                    if lp is not None:
+                        lp.enter("slowdown")
+                    try:
+                        while remaining > 0:
+                            nap = min(opt.slowdown_sleep, remaining)
+                            yield self.env.timeout(nap)
+                            remaining -= nap
+                    finally:
+                        if lp is not None:
+                            lp.leave()
                     dt = self.env.now - t0
                     held += dt
                     self.total_delayed_time += dt

@@ -46,7 +46,24 @@ from .export import (
 from .compare import compare_baselines, format_comparison
 from .exporters import telemetry_to_csv, telemetry_to_prometheus
 from .metrics import Counter, Gauge, MetricRegistry, SimHistogram
-from .rules import HealthEvent, HealthMonitor, HealthRule, default_rules
+from .profiler import (
+    DEFAULT_BANDS,
+    LINEAGE_SCHEMA,
+    SEGMENTS,
+    LineageProfiler,
+    check_lineage_invariant,
+    exemplars_from_chrome,
+    lineage_report,
+    ops_from_chrome,
+    percentile_bands,
+)
+from .rules import (
+    HealthEvent,
+    HealthMonitor,
+    HealthRule,
+    cluster_shard_rules,
+    default_rules,
+)
 from .telemetry import Channel, TelemetryHub
 from .tracer import CounterRecord, InstantRecord, SpanRecord, Tracer
 
@@ -76,6 +93,16 @@ __all__ = [
     "HealthRule",
     "HealthMonitor",
     "default_rules",
+    "cluster_shard_rules",
+    "LineageProfiler",
+    "SEGMENTS",
+    "DEFAULT_BANDS",
+    "LINEAGE_SCHEMA",
+    "percentile_bands",
+    "lineage_report",
+    "ops_from_chrome",
+    "exemplars_from_chrome",
+    "check_lineage_invariant",
     "telemetry_to_prometheus",
     "telemetry_to_csv",
     "compare_baselines",

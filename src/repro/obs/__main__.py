@@ -9,13 +9,18 @@
 * ``compare`` — diff two ``BENCH_<exp>.json`` baselines with tolerance
   bands; exits non-zero on regressions;
 * ``baseline-validate`` — check baseline files against the checked-in
-  JSON Schema.
+  JSON Schema;
+* ``lineage`` — percentile-conditioned latency-lineage decomposition
+  from a Chrome trace recorded with the lineage profiler on
+  (``--lineage`` on the bench CLI, or ``RunOptions(lineage=True)``
+  plus a trace path).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .attribution import attribution_report, top_spans
 from .export import load_chrome_trace, spans_from_chrome, validate_chrome_trace
@@ -51,6 +56,49 @@ def _trace_files_cmd(args) -> int:
                 print(f"  [{cat}]")
                 for dur, name, t0 in items:
                     print(f"    {dur * 1e3:>10.3f} ms  {name:<32s} @ {t0:.3f}s")
+    return status
+
+
+def _lineage_cmd(args) -> int:
+    import json
+
+    from .profiler import (check_lineage_invariant, exemplars_from_chrome,
+                           lineage_report, ops_from_chrome, percentile_bands)
+    status = 0
+    for path in args.files:
+        try:
+            doc = load_chrome_trace(path)
+        except Exception as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+            continue
+        ops = ops_from_chrome(doc)
+        if not ops:
+            print(f"{path}: no lineage-annotated op spans (was the trace "
+                  f"recorded with the lineage profiler on?)", file=sys.stderr)
+            status = 1
+            continue
+        violations = check_lineage_invariant(ops)
+        exemplars = exemplars_from_chrome(doc, ops, top_k=args.top)
+        if args.json_out:
+            out = {
+                "schema": "repro-lineage", "version": 1, "source": path,
+                "op_count": len(ops),
+                "bands": percentile_bands(ops),
+                "exemplars": exemplars,
+                "invariant_violations": violations,
+            }
+            p = Path(args.json_out)
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {p}")
+        else:
+            print(lineage_report(ops, title=f"Latency lineage: {path}",
+                                 exemplars=exemplars))
+        if violations:
+            print(f"{path}: {len(violations)} op(s) violate the "
+                  f"segments-sum-to-e2e invariant", file=sys.stderr)
+            status = 1
     return status
 
 
@@ -130,6 +178,16 @@ def main(argv=None) -> int:
                        help="validate BENCH_*.json against the schema")
     p.add_argument("files", nargs="+", help="baseline JSON file(s)")
     p.set_defaults(func=_baseline_validate_cmd)
+
+    p = sub.add_parser("lineage",
+                       help="percentile-conditioned latency-lineage tables "
+                            "from a lineage-annotated Chrome trace")
+    p.add_argument("files", nargs="+", help="Chrome-trace JSON file(s)")
+    p.add_argument("--top", type=int, default=5, metavar="K",
+                   help="slowest-op exemplars to show (default 5)")
+    p.add_argument("--json", metavar="PATH", default=None, dest="json_out",
+                   help="write bands + exemplars as JSON instead of a table")
+    p.set_defaults(func=_lineage_cmd)
 
     args = parser.parse_args(argv)
     return args.func(args)

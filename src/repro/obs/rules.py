@@ -32,7 +32,8 @@ from typing import Callable, Optional
 
 from .telemetry import TelemetryHub
 
-__all__ = ["HealthEvent", "HealthRule", "HealthMonitor", "default_rules"]
+__all__ = ["HealthEvent", "HealthRule", "HealthMonitor", "default_rules",
+           "cluster_shard_rules"]
 
 MiB = 1 << 20
 
@@ -268,3 +269,39 @@ def default_rules(period: float = 1.0,
         HealthRule("retry_storm", "warning", 3, retry_storm,
                    "sustained device-command retry pressure"),
     ]
+
+
+def cluster_shard_rules(shards: int, period: float = 1.0) -> list[HealthRule]:
+    """Per-shard instances of the cluster-relevant rules.
+
+    One ``stall_storm`` + ``degraded_mode_entered`` pair per shard,
+    reading the ``cluster.shard{k}.*`` channels the cluster facade
+    publishes, with the shard id carried in both the rule name and the
+    emitted event's ``data`` — so a fleet dashboard can tell *which*
+    shard is storming, not just that one is.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    rules: list[HealthRule] = []
+    for k in range(shards):
+        stall_ch = f"cluster.shard{k}.stall_time"
+        resil_ch = f"cluster.shard{k}.resil_state"
+
+        def shard_stall_storm(win, _ch=stall_ch, _k=k):
+            stalled = sum(1 for s in win if _get(s, _ch) > 0.5 * period)
+            frac = stalled / len(win)
+            return frac >= 0.3, {"shard": _k,
+                                 "stalled_frac": round(frac, 3)}
+
+        def shard_degraded(win, _ch=resil_ch, _k=k):
+            state = _get(win[-1], _ch)
+            return state >= 2.0, {"shard": _k, "resil_state": state}
+
+        rules.append(HealthRule(
+            f"stall_storm.shard{k}", "critical", 10, shard_stall_storm,
+            f"write stalls dominate a 10-bucket window on shard {k}"))
+        rules.append(HealthRule(
+            f"degraded_mode_entered.shard{k}", "critical", 1,
+            shard_degraded,
+            f"shard {k} entered DEGRADED: Dev-LSM admission suspended"))
+    return rules

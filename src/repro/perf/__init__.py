@@ -32,13 +32,14 @@ import time
 from pathlib import Path
 from typing import Callable, Optional
 
-from ..sim import Environment, Resource
+from ..sim import Environment, Resource, install_kernel_profiler
 
 __all__ = [
     "PERF_SCHEMA", "PERF_VERSION", "KERNEL_BENCHES", "BenchResult",
     "bench_timeout_chain", "bench_event_ping_pong", "bench_process_spawn",
     "bench_resource_handoff", "run_kernel_benches", "bench_suite_cells",
     "build_perf_doc", "load_perf_doc", "compare_perf", "default_baseline_path",
+    "profile_kernel_bench", "profile_mini_cell", "format_kernel_profile",
 ]
 
 PERF_SCHEMA = "repro-perf-baseline"
@@ -55,13 +56,14 @@ def default_baseline_path() -> Path:
 class BenchResult:
     """One microbenchmark measurement."""
 
-    __slots__ = ("name", "events", "wall_s", "events_per_sec")
+    __slots__ = ("name", "events", "wall_s", "events_per_sec", "profile")
 
-    def __init__(self, name: str, events: int, wall_s: float):
+    def __init__(self, name: str, events: int, wall_s: float, profile=None):
         self.name = name
         self.events = events
         self.wall_s = wall_s
         self.events_per_sec = events / wall_s if wall_s > 0 else 0.0
+        self.profile = profile          # KernelProfile dict when profiled
 
     def to_dict(self) -> dict:
         return {"events": int(self.events),
@@ -69,17 +71,21 @@ class BenchResult:
                 "events_per_sec": float(self.events_per_sec)}
 
 
-def _timed(name: str, build: Callable[[], Environment]) -> BenchResult:
+def _timed(name: str, build: Callable[[], Environment],
+           profile: bool = False) -> BenchResult:
     """Build a populated Environment, drain it, count scheduled events."""
     env = build()
+    prof = install_kernel_profiler(env) if profile else None
     pre = env.events_scheduled
     t0 = time.perf_counter()
     env.run()
     wall = time.perf_counter() - t0
-    return BenchResult(name, env.events_scheduled - pre, wall)
+    return BenchResult(name, env.events_scheduled - pre, wall,
+                       profile=prof.to_dict() if prof is not None else None)
 
 
-def bench_timeout_chain(procs: int = 64, iters: int = 4000) -> BenchResult:
+def bench_timeout_chain(procs: int = 64, iters: int = 4000,
+                        profile: bool = False) -> BenchResult:
     """The dominant pattern: N processes looping ``yield env.timeout(d)``.
 
     This is what every driver, sampler, flush poll, and detector period in
@@ -97,10 +103,11 @@ def bench_timeout_chain(procs: int = 64, iters: int = 4000) -> BenchResult:
             env.process(looper(1.0 + i * 1e-6), name=f"loop{i}")
         return env
 
-    return _timed("timeout_chain", build)
+    return _timed("timeout_chain", build, profile=profile)
 
 
-def bench_event_ping_pong(pairs: int = 32, rounds: int = 4000) -> BenchResult:
+def bench_event_ping_pong(pairs: int = 32, rounds: int = 4000,
+                          profile: bool = False) -> BenchResult:
     """Two processes per pair signalling each other through bare Events.
 
     Exercises Event.succeed, callback dispatch, and the already-processed
@@ -128,10 +135,11 @@ def bench_event_ping_pong(pairs: int = 32, rounds: int = 4000) -> BenchResult:
             env.process(pong(b, a), name=f"pong{i}")
         return env
 
-    return _timed("event_ping_pong", build)
+    return _timed("event_ping_pong", build, profile=profile)
 
 
-def bench_process_spawn(spawns: int = 30000) -> BenchResult:
+def bench_process_spawn(spawns: int = 30000,
+                        profile: bool = False) -> BenchResult:
     """Spawn/termination churn: short-lived child processes joined by a
     parent (compaction jobs and fault-sweep runs look like this)."""
     def build() -> Environment:
@@ -148,10 +156,11 @@ def bench_process_spawn(spawns: int = 30000) -> BenchResult:
         env.process(parent(), name="spawner")
         return env
 
-    return _timed("process_spawn", build)
+    return _timed("process_spawn", build, profile=profile)
 
 
-def bench_resource_handoff(workers: int = 16, rounds: int = 1500) -> BenchResult:
+def bench_resource_handoff(workers: int = 16, rounds: int = 1500,
+                           profile: bool = False) -> BenchResult:
     """FIFO Resource contention (thread pools, NAND channels)."""
     def build() -> Environment:
         env = Environment()
@@ -167,7 +176,7 @@ def bench_resource_handoff(workers: int = 16, rounds: int = 1500) -> BenchResult
             env.process(worker(), name=f"worker{i}")
         return env
 
-    return _timed("resource_handoff", build)
+    return _timed("resource_handoff", build, profile=profile)
 
 
 KERNEL_BENCHES: dict[str, Callable[[], BenchResult]] = {
@@ -264,3 +273,89 @@ def compare_perf(baseline: dict, benches: dict) -> dict:
             continue
         out[name] = res.events_per_sec / base["events_per_sec"]
     return out
+
+
+# -- kernel self-profiling (``python -m repro.perf profile``) ----------------
+
+def profile_kernel_bench(name: str) -> BenchResult:
+    """Run one microbenchmark with the kernel self-profiler installed.
+
+    Single run, no best-of: the profiler's counters are deterministic per
+    build, and its sampling overhead would only pollute a timing contest.
+    The returned :class:`BenchResult` carries the profile dict in
+    ``.profile``.
+    """
+    if name not in KERNEL_BENCHES:
+        raise ValueError(f"unknown benchmark {name!r}; "
+                         f"available: {sorted(KERNEL_BENCHES)}")
+    return KERNEL_BENCHES[name](profile=True)
+
+
+def profile_mini_cell(system: str = "kvaccel", workload: str = "A",
+                      scale: int = 256) -> dict:
+    """Profile one real experiment cell (the ``mini`` target).
+
+    Runs a single cell through the real runner with the kernel
+    self-profiler on and returns ``{"spec", "wall_s", "events",
+    "profile"}`` — the profile in the same dict shape the
+    microbenchmarks produce.
+    """
+    from ..bench.profiles import mini_profile
+    from ..bench.runner import RunSpec, run_workload
+    spec = RunSpec(system, workload, 1)
+    t0 = time.perf_counter()
+    result = run_workload(spec, mini_profile(scale), kernel_profile=True)
+    wall = time.perf_counter() - t0
+    return {
+        "spec": f"{system}/{workload}",
+        "wall_s": float(wall),
+        "events": int(result.extra.get("events_processed", 0)),
+        "profile": result.extra["kernel_profile"],
+    }
+
+
+def format_kernel_profile(prof: dict, top: int = 12) -> str:
+    """The sorted hot-site table for one kernel profile dict.
+
+    Event classes sorted by estimated wall-ns (from the coarse
+    ``sample_every`` timing), then process resume counts, then the heap /
+    timeout-pool / resource counters.
+    """
+    lines = []
+    est = prof.get("estimated_wall_ns_by_class", {})
+    by_class = prof.get("events_by_class", {})
+    total_ns = sum(est.values()) or 1.0
+    lines.append(f"  {'event class':20s} {'events':>10s} "
+                 f"{'est wall ms':>12s} {'share':>7s}")
+    ranked = sorted(by_class.items(),
+                    key=lambda kv: (-est.get(kv[0], 0.0), kv[0]))
+    for cls, n in ranked[:top]:
+        ns = est.get(cls, 0.0)
+        lines.append(f"  {cls:20s} {n:>10,d} {ns / 1e6:>12.2f} "
+                     f"{ns / total_ns:>6.1%}")
+    resumes = prof.get("resumes_by_process", {})
+    if resumes:
+        lines.append(f"\n  {'process (resumes)':34s} {'count':>10s}")
+        hot = sorted(resumes.items(), key=lambda kv: (-kv[1], kv[0]))
+        for pname, n in hot[:top]:
+            lines.append(f"  {pname:34s} {n:>10,d}")
+        if len(hot) > top:
+            rest = sum(n for _, n in hot[top:])
+            lines.append(f"  {'... %d more' % (len(hot) - top):34s} "
+                         f"{rest:>10,d}")
+    lines.append("")
+    lines.append(f"  heap pushes/pops     {prof.get('heap_pushes', 0):>10,d} "
+                 f"/ {prof.get('heap_pops', 0):,d}")
+    treq = prof.get("timeout_requests", 0)
+    lines.append(f"  timeout pool         {prof.get('timeout_pool_hits', 0):>10,d} "
+                 f"hits / {treq:,d} requests "
+                 f"({prof.get('timeout_pool_hit_rate', 0.0):.1%} hit rate), "
+                 f"{prof.get('pool_recycled', 0):,d} recycled")
+    rreq = prof.get("resource_requests", 0)
+    if rreq:
+        lines.append(f"  resource requests    {rreq:>10,d} "
+                     f"({prof.get('resource_grants', 0):,d} granted, "
+                     f"{prof.get('resource_queued', 0):,d} queued)")
+    lines.append(f"  profiled wall        {prof.get('wall_ns', 0) / 1e6:>10.1f} ms "
+                 f"(sampled 1/{prof.get('sample_every', 0)})")
+    return "\n".join(lines)

@@ -6,6 +6,8 @@ Usage::
     python -m repro.perf --bench timeout_chain --repeats 5
     python -m repro.perf --suite fig12 --quick --jobs 4
     python -m repro.perf --json perf.json     # machine-readable artifact
+    python -m repro.perf profile timeout_chain   # kernel self-profile
+    python -m repro.perf profile mini --json p.json  # profile a real cell
 
 With the pinned pre-fast-path baseline present
 (``benchmarks/PERF_BASELINE.json``), a speedup column is printed; the
@@ -27,12 +29,61 @@ from . import (
     build_perf_doc,
     compare_perf,
     default_baseline_path,
+    format_kernel_profile,
     load_perf_doc,
+    profile_kernel_bench,
+    profile_mini_cell,
     run_kernel_benches,
 )
 
 
+def _profile_main(argv) -> int:
+    """``python -m repro.perf profile <target>`` — kernel self-profiling.
+
+    Targets are the microbenchmark names plus ``mini`` (one real kvaccel
+    mini-profile cell through the runner).  Prints the sorted hot-site
+    table; ``--json`` writes the raw profile dict.
+    """
+    targets = sorted(KERNEL_BENCHES) + ["mini"]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf profile",
+        description="Wall-clock self-profile of the DES kernel: events by "
+                    "class, resume counts, heap and timeout-pool traffic.")
+    parser.add_argument("target", choices=targets,
+                        help="microbenchmark to profile, or 'mini' for a "
+                             "real experiment cell")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        dest="json_out",
+                        help="write the raw kernel profile as JSON")
+    args = parser.parse_args(argv)
+
+    if args.target == "mini":
+        out = profile_mini_cell()
+        prof = out["profile"]
+        print(f"kernel profile: cell {out['spec']} "
+              f"({out['events']:,d} events in {out['wall_s']:.2f}s)")
+    else:
+        r = profile_kernel_bench(args.target)
+        prof = r.profile
+        print(f"kernel profile: bench {r.name} "
+              f"({r.events:,d} events in {r.wall_s:.2f}s)")
+    print(format_kernel_profile(prof))
+
+    if args.json_out:
+        path = Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"schema": "repro-kernel-profile", "version": 1,
+               "target": args.target, "profile": prof}
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf",
         description="Measure harness performance: kernel events/sec and "

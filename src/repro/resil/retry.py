@@ -200,7 +200,14 @@ class RetryExecutor:
                 self.stats.retries += 1
                 if tel is not None:
                     tel.add("resil.retries", 1.0)
-                yield env.timeout(delay)
+                lp = env.lineage
+                if lp is not None:
+                    lp.enter("retry")
+                try:
+                    yield env.timeout(delay)
+                finally:
+                    if lp is not None:
+                        lp.leave()
             else:
                 return result
 

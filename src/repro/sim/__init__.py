@@ -6,9 +6,12 @@ from .core import (
     Environment,
     Event,
     Interrupt,
+    KernelProfile,
     Process,
     SimulationError,
     Timeout,
+    install_kernel_profiler,
+    uninstall_kernel_profiler,
 )
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .samplers import PeriodicSampler, RateMeter
@@ -29,4 +32,7 @@ __all__ = [
     "Store",
     "PeriodicSampler",
     "RateMeter",
+    "KernelProfile",
+    "install_kernel_profiler",
+    "uninstall_kernel_profiler",
 ]

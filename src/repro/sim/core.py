@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 import sys
 from heapq import heappop, heappush
+from time import perf_counter_ns
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "KernelProfile",
+    "install_kernel_profiler",
+    "uninstall_kernel_profiler",
 ]
 
 
@@ -405,6 +409,13 @@ class Environment:
         # Optional repro.obs.TelemetryHub; telemetry publishers follow the
         # same guard, so unmonitored runs stay bit-identical.
         self.telemetry = None
+        # Optional repro.obs.LineageProfiler; per-op critical-path probes
+        # throughout the stack check this slot — one attribute read, zero
+        # allocations while it stays None.
+        self.lineage = None
+        # Optional KernelProfile; run() delegates to the instrumented loop
+        # while installed and is untouched otherwise.
+        self.kernel_profiler = None
 
     @property
     def now(self) -> float:
@@ -517,6 +528,8 @@ class Environment:
         Processed Timeouts that nothing else references (refcount check)
         are recycled into :meth:`timeout`'s freelist.
         """
+        if self.kernel_profiler is not None:
+            return self._run_profiled(until)
         stop_event: Optional[Event] = None
         deadline = float("inf")
         if isinstance(until, Event):
@@ -683,3 +696,197 @@ class Environment:
         if deadline != float("inf") and self._now < deadline:
             self._now = deadline
         return None
+
+    def _run_profiled(self, until: Optional[float | Event] = None) -> Any:
+        """run() with kernel self-profiling: generic event dispatch plus
+        per-class counters and coarse wall-clock sampling.
+
+        Semantically in lockstep with :meth:`run`'s inlined loops — same
+        heap key, same ``_run_callbacks`` behaviour (the inlined Timeout
+        fast path mirrors it by construction), same freelist recycle rule —
+        so profiled runs follow the identical trajectory, just slower.
+        """
+        prof = self.kernel_profiler
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until {deadline} is in the past (now={self._now})")
+
+        heap = self._heap
+        pop = heappop
+        pool = self._timeout_pool
+        pool_cap = _TIMEOUT_POOL_CAP
+        getrefcount = sys.getrefcount
+        timeout_cls = Timeout
+
+        stopped: list = []
+        if stop_event is not None and stop_event._state != _PROCESSED:
+            stop_event.callbacks.append(stopped.append)
+
+        by_class = prof.events_by_class
+        resumes = prof.resumes_by_process
+        sampled_ns = prof.sampled_wall_ns_by_class
+        sampled_n = prof.sampled_events_by_class
+        sample_every = prof.sample_every
+        wall_t0 = perf_counter_ns()
+        try:
+            while heap:
+                if stopped and stop_event is not None:
+                    break
+                if heap[0][0] >= deadline:
+                    self._now = deadline
+                    return None
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                prof.heap_pops += 1
+                cls = type(event).__name__
+                by_class[cls] = by_class.get(cls, 0) + 1
+                proc = event._proc
+                if proc is not None:
+                    name = proc.name
+                    resumes[name] = resumes.get(name, 0) + 1
+                else:
+                    for cb in event.callbacks:
+                        owner = getattr(cb, "__self__", None)
+                        if type(owner) is Process:
+                            name = owner.name
+                            resumes[name] = resumes.get(name, 0) + 1
+                if prof.heap_pops % sample_every == 0:
+                    t0 = perf_counter_ns()
+                    event._run_callbacks()
+                    dt = perf_counter_ns() - t0
+                    sampled_ns[cls] = sampled_ns.get(cls, 0) + dt
+                    sampled_n[cls] = sampled_n.get(cls, 0) + 1
+                else:
+                    event._run_callbacks()
+                if (type(event) is timeout_cls and len(pool) < pool_cap
+                        and getrefcount(event) == 2):  # local var + arg only
+                    pool.append(event)
+                    prof.pool_recycled += 1
+        finally:
+            prof.wall_ns += perf_counter_ns() - wall_t0
+
+        if stop_event is not None:
+            if stop_event._state != _PROCESSED:
+                raise SimulationError("run(until=event): event never fired")
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if deadline != float("inf") and self._now < deadline:
+            self._now = deadline
+        return None
+
+
+class KernelProfile:
+    """Wall-clock self-profile of one Environment's event loop.
+
+    Collected by :meth:`Environment._run_profiled` while installed via
+    :func:`install_kernel_profiler`.  All counters are exact except the
+    wall-ns-per-class figures, which sample one event in ``sample_every``
+    (timing every dispatch would perturb the very loop being measured);
+    :meth:`to_dict` scales the samples back up to estimated totals.
+
+    Everything here is wall-clock instrumentation — the simulated
+    trajectory of a profiled run is bit-identical to an unprofiled one.
+    """
+
+    def __init__(self, sample_every: int = 16):
+        self.sample_every = max(1, int(sample_every))
+        self.events_by_class: dict[str, int] = {}
+        self.resumes_by_process: dict[str, int] = {}
+        self.sampled_wall_ns_by_class: dict[str, int] = {}
+        self.sampled_events_by_class: dict[str, int] = {}
+        self.heap_pops = 0
+        self.pool_recycled = 0
+        self.timeout_requests = 0
+        self.timeout_pool_hits = 0
+        self.resource_requests = 0
+        self.resource_grants = 0
+        self.resource_queued = 0
+        self.wall_ns = 0
+        self._env: Optional[Environment] = None
+        self._seq0 = 0
+
+    @property
+    def heap_pushes(self) -> int:
+        """Every ``_seq`` increment pairs with exactly one heappush (in
+        ``_schedule``, ``schedule_at``, ``timeout()`` and
+        ``Timeout.__init__``), so the push count is the ``_seq`` delta."""
+        if self._env is None:
+            return 0
+        return self._env._seq - self._seq0
+
+    @property
+    def timeout_pool_hit_rate(self) -> float:
+        if self.timeout_requests == 0:
+            return 0.0
+        return self.timeout_pool_hits / self.timeout_requests
+
+    def estimated_wall_ns_by_class(self) -> dict[str, float]:
+        """Scale the sampled per-class wall time up to estimated totals."""
+        out: dict[str, float] = {}
+        for cls, total in self.events_by_class.items():
+            n = self.sampled_events_by_class.get(cls, 0)
+            if n:
+                out[cls] = self.sampled_wall_ns_by_class[cls] / n * total
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "heap_pushes": int(self.heap_pushes),
+            "heap_pops": int(self.heap_pops),
+            "events_by_class": dict(self.events_by_class),
+            "resumes_by_process": dict(self.resumes_by_process),
+            "timeout_requests": int(self.timeout_requests),
+            "timeout_pool_hits": int(self.timeout_pool_hits),
+            "timeout_pool_hit_rate": float(self.timeout_pool_hit_rate),
+            "pool_recycled": int(self.pool_recycled),
+            "resource_requests": int(self.resource_requests),
+            "resource_grants": int(self.resource_grants),
+            "resource_queued": int(self.resource_queued),
+            "sample_every": int(self.sample_every),
+            "sampled_events_by_class": dict(self.sampled_events_by_class),
+            "wall_ns": int(self.wall_ns),
+            "estimated_wall_ns_by_class": {
+                k: float(v)
+                for k, v in self.estimated_wall_ns_by_class().items()},
+        }
+
+
+def install_kernel_profiler(env: Environment,
+                            sample_every: int = 16) -> KernelProfile:
+    """Attach a :class:`KernelProfile` to ``env``.
+
+    ``env.timeout`` is shadowed with a counting wrapper (instance dict
+    shadows the class method) so pool hit rate can be measured without
+    touching the class; :func:`uninstall_kernel_profiler` restores it.
+    """
+    if env.kernel_profiler is not None:
+        raise SimulationError("kernel profiler already installed")
+    prof = KernelProfile(sample_every=sample_every)
+    prof._env = env
+    prof._seq0 = env._seq
+    env.kernel_profiler = prof
+    orig_timeout = env.timeout
+
+    def counting_timeout(delay: float, value: Any = None) -> Timeout:
+        prof.timeout_requests += 1
+        if env._timeout_pool:
+            prof.timeout_pool_hits += 1
+        return orig_timeout(delay, value)
+
+    env.timeout = counting_timeout
+    return prof
+
+
+def uninstall_kernel_profiler(env: Environment) -> Optional[KernelProfile]:
+    """Detach the profiler and restore the un-shadowed ``env.timeout``."""
+    prof = env.kernel_profiler
+    env.kernel_profiler = None
+    env.__dict__.pop("timeout", None)
+    return prof

@@ -96,11 +96,18 @@ class Resource:
 
     # -- internal -----------------------------------------------------
     def _do_request(self, request: Request) -> None:
+        prof = self.env.kernel_profiler
+        if prof is not None:
+            prof.resource_requests += 1
         if len(self.users) < self._capacity:
             self.users.append(request)
             request.succeed(request)
+            if prof is not None:
+                prof.resource_grants += 1
         else:
             self.queue.append(request)
+            if prof is not None:
+                prof.resource_queued += 1
 
     def _cancel(self, request: Request) -> None:
         try:
@@ -109,10 +116,13 @@ class Resource:
             pass
 
     def _grant(self) -> None:
+        prof = self.env.kernel_profiler
         while self.queue and len(self.users) < self._capacity:
             nxt = self.queue.popleft()
             self.users.append(nxt)
             nxt.succeed(nxt)
+            if prof is not None:
+                prof.resource_grants += 1
 
 
 class PriorityRequest(Request):
@@ -139,11 +149,14 @@ class PriorityResource(Resource):
         return PriorityRequest(self, priority)
 
     def _grant(self) -> None:
+        prof = self.env.kernel_profiler
         while self.queue and len(self.users) < self._capacity:
             nxt = min(self.queue, key=lambda r: (r.priority, r.order))
             self.queue.remove(nxt)
             self.users.append(nxt)
             nxt.succeed(nxt)
+            if prof is not None:
+                prof.resource_grants += 1
 
 
 class Container:

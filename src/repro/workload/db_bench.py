@@ -74,9 +74,18 @@ class FillRandomDriver(_DriverBase):
         t_end = self.env.now + cfg.duration
         per_entry = cfg.key_size + cfg.value_size + 8
         group = cfg.batch_size * max(1, cfg.driver_batch)
+        lp = self.env.lineage
         while self.env.now < t_end:
             batch = self._make_batch(keys, group)
-            yield from self.db.put_batch(batch)
+            if lp is None:
+                yield from self.db.put_batch(batch)
+            else:
+                ctx = lp.op_begin("put_batch", count=len(batch),
+                                  nbytes=len(batch) * per_entry)
+                try:
+                    yield from self.db.put_batch(batch)
+                finally:
+                    lp.op_end(ctx)
             n = len(batch)
             self.write_ops += n
             self.write_meter.add(n)
@@ -109,9 +118,18 @@ class ReadWhileWritingDriver(_DriverBase):
         t_end = self.env.now + cfg.duration
         per_entry = cfg.key_size + cfg.value_size + 8
         group = cfg.batch_size * max(1, cfg.driver_batch)
+        lp = self.env.lineage
         while self.env.now < t_end:
             batch = self._make_batch(keys, group)
-            yield from self.db.put_batch(batch)
+            if lp is None:
+                yield from self.db.put_batch(batch)
+            else:
+                ctx = lp.op_begin("put_batch", count=len(batch),
+                                  nbytes=len(batch) * per_entry)
+                try:
+                    yield from self.db.put_batch(batch)
+                finally:
+                    lp.op_end(ctx)
             n = len(batch)
             self.write_ops += n
             self.write_meter.add(n)
@@ -124,6 +142,7 @@ class ReadWhileWritingDriver(_DriverBase):
         keys = RandomKeys(cfg.key_space, cfg.key_size, seed=cfg.seed + 7919)
         # pace: reads/writes tracks read_ratio/write_ratio
         target = self.read_ratio / self.write_ratio
+        lp = self.env.lineage
         if cfg.driver_batch <= 1:
             # Reference per-op path, unchanged: one pacing decision and at
             # most one read per wakeup.
@@ -131,7 +150,14 @@ class ReadWhileWritingDriver(_DriverBase):
                 if self.read_ops > (self.write_ops + 1) * target:
                     yield self.env.timeout(0.001)
                     continue
-                value = yield from self.db.get(keys.next_key())
+                if lp is None:
+                    value = yield from self.db.get(keys.next_key())
+                else:
+                    ctx = lp.op_begin("get")
+                    try:
+                        value = yield from self.db.get(keys.next_key())
+                    finally:
+                        lp.op_end(ctx)
                 if value is not None:
                     self.read_hits += 1
                 self.read_ops += 1
@@ -145,7 +171,14 @@ class ReadWhileWritingDriver(_DriverBase):
                 yield self.env.timeout(0.001 * cfg.driver_batch)
                 continue
             for _ in range(cfg.driver_batch):
-                value = yield from self.db.get(keys.next_key())
+                if lp is None:
+                    value = yield from self.db.get(keys.next_key())
+                else:
+                    ctx = lp.op_begin("get")
+                    try:
+                        value = yield from self.db.get(keys.next_key())
+                    finally:
+                        lp.op_end(ctx)
                 if value is not None:
                     self.read_hits += 1
                 self.read_ops += 1
@@ -175,11 +208,20 @@ class SeekRandomDriver(_DriverBase):
         cfg = self.config
         keys = RandomKeys(cfg.key_space, cfg.key_size, seed=cfg.seed)
         t_end = self.env.now + cfg.duration
+        lp = self.env.lineage
         while self.env.now < t_end:
             if self.max_seeks is not None and self.seeks >= self.max_seeks:
                 break
-            out = yield from self.db.scan(keys.next_key(),
-                                          self.nexts_per_seek)
+            if lp is None:
+                out = yield from self.db.scan(keys.next_key(),
+                                              self.nexts_per_seek)
+            else:
+                ctx = lp.op_begin("scan", count=self.nexts_per_seek)
+                try:
+                    out = yield from self.db.scan(keys.next_key(),
+                                                  self.nexts_per_seek)
+                finally:
+                    lp.op_end(ctx)
             self.seeks += 1
             got = len(out)
             self.entries_scanned += got
