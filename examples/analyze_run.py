@@ -20,6 +20,11 @@ With ``--lineage`` it runs the same two cells with the latency-lineage
 profiler and prints each cell's percentile-conditioned critical-path
 decomposition — which segment (stall / wal / queue / nand / ...) the
 p50/p90/p99 latency actually went to, plus the slowest-op span trees.
+
+With ``--journal`` it runs a KVACCEL cell with the deterministic flight
+recorder and prints the kernel event-class histogram plus the digest
+checkpoint cadence — the recording a ``python -m repro.obs diff`` bisect
+would walk.
 """
 
 import argparse
@@ -98,6 +103,47 @@ def analyze_lineage() -> None:
         print()
 
 
+def analyze_journal() -> None:
+    """Run a KVACCEL cell with the flight recorder; print its contents."""
+    from repro.bench.runner import run_workload
+    from repro.obs import Journal
+
+    profile = mini_profile(256)
+    spec = RunSpec("kvaccel", "A", 1, rollback="disabled")
+    result = run_workload(spec, profile,
+                          journal=Journal(period=profile.sample_period))
+    journal = result.extra["journal"]
+    total = journal.event_count
+    print(f"== {spec.display}: {total} kernel events, "
+          f"{journal.site_count} site visits, "
+          f"{journal.checkpoint_count} digest checkpoints "
+          f"over {result.duration:.1f}s")
+
+    hist = journal.event_class_histogram()
+    rows = [[cls, count, f"{100.0 * count / total:.1f}%"]
+            for cls, count in sorted(hist.items(),
+                                     key=lambda kv: -kv[1])]
+    print(table(["event class", "count", "share"], rows,
+                title="Kernel event-class histogram"))
+    print()
+
+    digests = [rec for rec in journal.records if rec[0] == "digest"]
+    layers = sorted({rec[3] for rec in digests})
+    times = sorted({rec[2] for rec in digests})
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    rows = [["layers digested", ", ".join(layers)],
+            ["checkpoints", str(journal.checkpoint_count)],
+            ["digest records", str(len(digests))],
+            ["first checkpoint", f"t={times[0]:.3f}s" if times else "-"],
+            ["last checkpoint", f"t={times[-1]:.3f}s" if times else "-"],
+            ["median cadence",
+             f"{sorted(gaps)[len(gaps) // 2]:.3f}s" if gaps else "-"]]
+    print(table(["checkpoint cadence", ""], rows,
+                title=f"State digests (period={journal.period}s)"))
+    print("\nBisect two such recordings with:  "
+          "python -m repro.obs diff runA.jsonl.gz runB.jsonl.gz")
+
+
 parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
 parser.add_argument("--trace", metavar="FILE", default=None,
                     help="analyze a recorded Chrome trace instead of "
@@ -108,6 +154,10 @@ parser.add_argument("--health", action="store_true",
 parser.add_argument("--lineage", action="store_true",
                     help="run with the latency-lineage profiler and print "
                          "the percentile-conditioned segment decomposition")
+parser.add_argument("--journal", action="store_true",
+                    help="run with the deterministic flight recorder and "
+                         "print the event-class histogram + checkpoint "
+                         "cadence")
 args = parser.parse_args()
 if args.trace:
     analyze_trace(args.trace)
@@ -117,6 +167,9 @@ if args.health:
     raise SystemExit(0)
 if args.lineage:
     analyze_lineage()
+    raise SystemExit(0)
+if args.journal:
+    analyze_journal()
     raise SystemExit(0)
 
 profile = mini_profile(256)

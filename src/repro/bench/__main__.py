@@ -40,6 +40,17 @@ def _per_experiment_trace(base: str, name: str, multi: bool) -> str:
     return str(p.with_name(f"{p.stem}.{name}{p.suffix or '.json'}"))
 
 
+def _per_experiment_journal(base: str, name: str, multi: bool) -> str:
+    """Journal variant of :func:`_per_experiment_trace`: handles the
+    compound ``.jsonl.gz`` suffix."""
+    if not multi:
+        return base
+    for ext in (".jsonl.gz", ".jsonl", ".json", ".gz"):
+        if base.endswith(ext):
+            return f"{base[:-len(ext)]}.{name}{ext}"
+    return f"{base}.{name}"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -74,6 +85,11 @@ def main(argv=None) -> int:
                              "experiment (telemetry + health enabled); "
                              "PATH may be a file (single experiment) or "
                              "a directory")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="record the deterministic flight recorder per "
+                             "cell (JSONL, gzip when PATH ends in .gz); "
+                             "bisect two recordings with "
+                             "'python -m repro.obs diff'")
     parser.add_argument("--lineage", action="store_true",
                         help="run with the latency-lineage profiler and "
                              "print a percentile-conditioned segment "
@@ -99,6 +115,7 @@ def main(argv=None) -> int:
     failed = []
     baselines = []
     traces = []
+    journals = []
     for name in names:
         print(f"\n=== {name} " + "=" * (68 - len(name)))
         options = RunOptions(
@@ -108,6 +125,9 @@ def main(argv=None) -> int:
                         if args.trace else None),
             telemetry=args.json_out is not None,
             lineage=args.lineage,
+            journal_path=(_per_experiment_journal(args.journal, name,
+                                                  len(names) > 1)
+                          if args.journal else None),
         )
         # Experiment-specific knobs ride through only where accepted, so
         # `all --shards 1,2` doesn't trip experiments without that axis.
@@ -126,6 +146,9 @@ def main(argv=None) -> int:
         traces.extend(r.extra["trace_path"]
                       for r in out.get("results", {}).values()
                       if "trace_path" in r.extra)
+        journals.extend(r.extra["journal_path"]
+                        for r in out.get("results", {}).values()
+                        if r.extra.get("journal_path"))
         if args.lineage:
             from ..obs import lineage_report
             lineage_cells = {}
@@ -183,6 +206,10 @@ def main(argv=None) -> int:
                 spans = spans_from_chrome(load_chrome_trace(p))
                 print()
                 print(attribution_report(spans, title=p))
+    if args.journal:
+        print(f"\n{len(journals)} journal file(s) written:")
+        for p in journals:
+            print(f"  {p}")
     if args.json_out is not None:
         print(f"\n{len(baselines)} baseline file(s) written:")
         for p in baselines:

@@ -28,7 +28,7 @@ from ..lsm import LsmOptions
 from ..resil import ResilienceConfig
 
 __all__ = ["ExperimentProfile", "paper_profile", "mini_profile",
-           "active_profile"]
+           "active_profile", "get_profile"]
 
 
 @dataclass
@@ -162,6 +162,17 @@ def mini_profile(scale: int = 64) -> ExperimentProfile:
     )
 
 
+def get_profile(spec: str) -> ExperimentProfile:
+    """Resolve a profile by name: ``paper``, ``mini`` or ``mini<N>``."""
+    if spec == "paper":
+        return paper_profile()
+    if spec == "mini":
+        return mini_profile(64)
+    if spec.startswith("mini"):
+        return mini_profile(int(spec[4:]))
+    raise ValueError(f"unknown profile {spec!r}")
+
+
 def active_profile() -> ExperimentProfile:
     """Profile selected by the REPRO_PROFILE env var.
 
@@ -169,11 +180,4 @@ def active_profile() -> ExperimentProfile:
     * ``mini<N>``           -> mini_profile(N), e.g. mini128 for quicker runs
     * ``paper``             -> paper_profile()
     """
-    spec = os.environ.get("REPRO_PROFILE", "mini")
-    if spec == "paper":
-        return paper_profile()
-    if spec == "mini":
-        return mini_profile(64)
-    if spec.startswith("mini"):
-        return mini_profile(int(spec[4:]))
-    raise ValueError(f"unknown REPRO_PROFILE {spec!r}")
+    return get_profile(os.environ.get("REPRO_PROFILE", "mini"))

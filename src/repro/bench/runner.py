@@ -22,8 +22,10 @@ from ..core import KvaccelDb, RollbackConfig
 from ..device import CpuModel, HybridSsd
 from ..lsm import DbImpl
 from ..metrics import RunCollector, RunResult
-from ..obs import (HealthMonitor, LineageProfiler, TelemetryHub, Tracer,
-                   cluster_shard_rules, default_rules, write_chrome_trace)
+from ..obs import (HealthMonitor, Journal, LineageProfiler, TelemetryHub,
+                   Tracer, cluster_shard_rules, default_rules,
+                   register_digest_sources, write_chrome_trace,
+                   write_journal)
 from ..sim import Environment, install_kernel_profiler, uninstall_kernel_profiler
 from ..workload import (
     DriverConfig,
@@ -36,7 +38,8 @@ from ..workload import (
 from .profiles import ExperimentProfile
 
 __all__ = ["RunSpec", "RunOptions", "run_workload", "build_system",
-           "cell_trace_path", "PERF_EXTRA_KEYS", "LIVE_EXTRA_KEYS"]
+           "cell_trace_path", "cell_journal_path", "PERF_EXTRA_KEYS",
+           "LIVE_EXTRA_KEYS"]
 
 SYSTEMS = ("rocksdb", "adoc", "kvaccel", "cluster")
 
@@ -48,7 +51,7 @@ PERF_EXTRA_KEYS = ("wall_clock_s", "events_processed", "events_per_sec")
 # Live objects carried in RunResult.extra for interactive callers (the
 # dashboard, analyze scripts).  They hold Environment references and are
 # not picklable — parallel workers strip them before returning.
-LIVE_EXTRA_KEYS = ("tracer", "telemetry_hub", "health_monitor")
+LIVE_EXTRA_KEYS = ("tracer", "telemetry_hub", "health_monitor", "journal")
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,12 @@ class RunOptions:
                      (plain data, survives the fork boundary).
     ``kernel_profile`` — install the DES kernel self-profiler per cell;
                      counters land in ``result.extra["kernel_profile"]``.
+    ``journal_path`` — base journal path; each cell records the flight
+                     recorder and writes ``<stem>.NN.<label>.jsonl[.gz]``
+                     (same deterministic cell naming as traces).
+    ``journal_window`` — ``(t0, t1)``: record only events/sites inside the
+                     suspect sim-time window (the ``replay-to`` mode;
+                     record indices stay absolute).
     """
 
     jobs: int = 1
@@ -78,6 +87,8 @@ class RunOptions:
     telemetry: bool = False
     lineage: bool = False
     kernel_profile: bool = False
+    journal_path: Optional[str] = None
+    journal_window: Optional[tuple] = None
 
 
 def cell_trace_path(base: str, label: str, seq: int) -> str:
@@ -87,6 +98,17 @@ def cell_trace_path(base: str, label: str, seq: int) -> str:
     if not dot:
         return f"{base}.{seq:02d}.{safe}.json"
     return f"{stem}.{seq:02d}.{safe}.{ext}"
+
+
+def cell_journal_path(base: str, label: str, seq: int) -> str:
+    """Per-cell journal path; handles the compound ``.jsonl.gz`` suffix
+    (``cell_trace_path``'s single-extension split would land the cell tag
+    inside it)."""
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in label)
+    for ext in (".jsonl.gz", ".jsonl", ".json", ".gz"):
+        if base.endswith(ext):
+            return f"{base[:-len(ext)]}.{seq:02d}.{safe}{ext}"
+    return f"{base}.{seq:02d}.{safe}.jsonl.gz"
 
 
 @dataclass
@@ -225,6 +247,7 @@ def run_workload(
     cell_index: int = 0,
     lineage: bool = False,
     kernel_profile: bool = False,
+    journal: Optional[Journal] = None,
 ) -> RunResult:
     """Run one experiment cell and return its RunResult.
 
@@ -259,6 +282,16 @@ def run_workload(
         tracer = Tracer()
     if tracer is not None:
         tracer.install(env)
+    journal_path = None
+    if (journal is None and options is not None
+            and options.journal_path is not None):
+        journal_path = cell_journal_path(options.journal_path, spec.display,
+                                         cell_index + 1)
+        journal = Journal(
+            period=profile.sample_period,
+            window=options.journal_window if options is not None else None)
+    if journal is not None:
+        journal.install(env)
     hub = None
     if (telemetry or (options is not None and options.telemetry)
             or health_rules is not None or sample_callback is not None):
@@ -283,6 +316,8 @@ def run_workload(
         if sample_callback is not None:
             hub.on_sample(sample_callback)
     db, ssd, cpu = build_system(env, profile, spec)
+    if journal is not None:
+        register_digest_sources(journal, db, ssd)
     wl = WORKLOADS[spec.workload]
     duration = spec.duration if spec.duration is not None else profile.duration
 
@@ -373,6 +408,16 @@ def run_workload(
         if cell_path is not None:
             write_chrome_trace(tracer, cell_path, label=spec.display)
             result.extra["trace_path"] = cell_path
+    if journal is not None:
+        # Final checkpoint so even sub-period runs carry digest records;
+        # taken after close() so shutdown transitions are in the hash.
+        journal.checkpoint_now(env.now)
+        result.extra["journal"] = journal
+        if journal_path is not None:
+            write_journal(journal, journal_path,
+                          meta={"cell": spec.display, "seed": spec.seed,
+                                "profile": profile.name})
+        result.extra["journal_path"] = journal_path
     if lineage_prof is not None:
         result.extra["lineage"] = lineage_prof.to_dict()
     if kprof is not None:

@@ -511,6 +511,13 @@ class ClusterDb:
                       lambda sh=sh: sh.ssd.devlsm.total_bytes)
             tel.gauge(f"cluster.{sh.name}.resil_state",
                       lambda sh=sh: STATE_GAUGE[sh.resil_state])
+            if sh.db.resil is not None:
+                # Per-shard retry pressure: both device interfaces'
+                # executors, so a storm on either path is attributed to
+                # its shard (feeds retry_storm.shard{k}).
+                tel.deriv(f"cluster.{sh.name}.retries",
+                          lambda sh=sh: (sh.ssd.kv.retry.stats.retries
+                                         + sh.ssd.block.retry.stats.retries))
         tel.gauge("cluster.degraded_shards",
                   lambda: float(self.degraded_shards()))
         tel.gauge("cluster.hot_shard", lambda: float(self.hot_shard()))

@@ -60,6 +60,18 @@ class KvaccelController:
             tel.rate("ctl.redirected")
             tel.rate("ctl.normal")
 
+    def state_digest(self) -> dict:
+        """Routing-decision state for journal digest checkpoints."""
+        return {
+            "redirected_writes": self.redirected_writes,
+            "normal_writes": self.normal_writes,
+            "dev_reads": self.dev_reads,
+            "main_reads": self.main_reads,
+            "rollback_in_progress": self.rollback_in_progress,
+            "last_route": self._last_route,
+            "marked_keys": len(self.metadata),
+        }
+
     def _redirect_allowed(self) -> bool:
         """Should this write go to the Dev-LSM?"""
         return (self.detector.stall_condition
@@ -75,7 +87,7 @@ class KvaccelController:
         lives in Main-LSM.
         """
         self.resil.record_error(exc)
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             touch(self.env, "resil.fallback")
         for key, _seq, _value in triples:
             if not self.metadata.is_empty and self.metadata.contains(key):
@@ -113,7 +125,7 @@ class KvaccelController:
         self.last_write_time = self.env.now
         if self._redirect_allowed():
             self._route("dev")
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 yield from fault_point(self.env, "ctl.put.redirect")
             t0 = self.env.now
             triples = []
@@ -146,7 +158,7 @@ class KvaccelController:
                                                  count=len(triples))
         else:
             self._route("main")
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 yield from fault_point(self.env, "ctl.put.normal")
             for key, _value in pairs:
                 if not self.metadata.is_empty and self.metadata.contains(key):
@@ -161,7 +173,7 @@ class KvaccelController:
         self.last_write_time = self.env.now
         if self._redirect_allowed():
             self._route("dev")
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 yield from fault_point(self.env, "ctl.delete.redirect")
             seq = self.main.next_seq()
             self.metadata.insert(key)  # tombstone lives in Dev-LSM
@@ -183,7 +195,7 @@ class KvaccelController:
             self.redirected_writes += 1
         else:
             self._route("main")
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 yield from fault_point(self.env, "ctl.delete.normal")
             if not self.metadata.is_empty and self.metadata.contains(key):
                 self.metadata.remove(key)
@@ -194,7 +206,7 @@ class KvaccelController:
     def get(self, key: bytes) -> Generator:
         """Read path steps (1)-(3) of Section V-C."""
         if not self.kv.is_empty and self.metadata.contains(key):
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 yield from fault_point(self.env, "ctl.get.dev")
             try:
                 entry = yield from self.kv.get(key)
@@ -213,7 +225,7 @@ class KvaccelController:
             if entry[2] == KIND_DELETE:
                 return None
             return entry[3]
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "ctl.get.main")
         value = yield from self.main.get(key)
         self.main_reads += 1

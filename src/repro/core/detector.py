@@ -65,6 +65,15 @@ class WriteStallDetector:
         debt_pressure = pending >= opt.soft_pending_compaction_bytes_limit
         return memtable_pressure or l0_pressure or debt_pressure
 
+    def state_digest(self) -> dict:
+        """Detector verdict + latch history for journal checkpoints."""
+        return {
+            "stall_condition": self.stall_condition,
+            "checks": self.checks,
+            "transitions": self.transitions,
+            "stall_condition_time": self.stall_condition_time,
+        }
+
     def stop(self) -> None:
         """Stop the detector thread.
 

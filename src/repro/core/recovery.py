@@ -44,11 +44,11 @@ def recover_after_crash(controller: KvaccelController,
     tr = env.tracer
     _sp = (tr.begin("recovery", "recovery.metadata", actor="recovery")
            if tr is not None else None)
-    if env.faults is not None:
+    if env.faults is not None or env.journal is not None:
         yield from fault_point(env, "recovery.start")
     controller.metadata.drop()
     scanned = yield from controller.kv.bulk_scan()
-    if env.faults is not None:
+    if env.faults is not None or env.journal is not None:
         touch(env, "recovery.scan.done")
     entries = []
     for e in scanned:
@@ -64,11 +64,11 @@ def recover_after_crash(controller: KvaccelController,
         yield from controller.main.write_entries(chunk)
         if tel is not None:
             tel.add("recovery.entries", len(chunk))
-        if env.faults is not None:
+        if env.faults is not None or env.journal is not None:
             touch(env, "recovery.merge.batch")
     yield from controller.kv.reset()
     controller.metadata.clear()
-    if env.faults is not None:
+    if env.faults is not None or env.journal is not None:
         touch(env, "recovery.complete")
     if _sp is not None:
         tr.end(_sp, args={"entries": len(entries), "bytes": nbytes})

@@ -162,12 +162,12 @@ class RollbackManager:
         try:
             t0 = self.env.now
             controller = self.controller
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 yield from fault_point(self.env, "rollback.start")
             live_keys = controller.metadata.keys_snapshot()
             entries = yield from controller.kv.bulk_scan()
             entries = [e for e in entries if e[0] in live_keys]
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 touch(self.env, "rollback.scan.done")
             nbytes = 0
             batch = self.config.merge_batch
@@ -182,13 +182,13 @@ class RollbackManager:
                     # in — the rollback-convergence rule watches this.
                     tel.add("rollback.entries", len(chunk))
                     tel.add("rollback.bytes", chunk_bytes)
-                if self.env.faults is not None:
+                if self.env.faults is not None or self.env.journal is not None:
                     touch(self.env, "rollback.merge.batch")
             controller.metadata.clear()
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 touch(self.env, "rollback.metadata.cleared")
             yield from controller.kv.reset()
-            if self.env.faults is not None:
+            if self.env.faults is not None or self.env.journal is not None:
                 touch(self.env, "rollback.complete")
             if self.resil is not None:
                 self.resil.note_drained()

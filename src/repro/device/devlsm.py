@@ -153,6 +153,17 @@ class DevLsm:
     def is_empty(self) -> bool:
         return not self._memtable and not self.runs
 
+    def state_digest(self) -> dict:
+        """Dev-LSM occupancy for journal digest checkpoints: memtable
+        fill plus the per-run shape (newest first)."""
+        return {
+            "memtable_entries": len(self._memtable),
+            "memtable_bytes": self._memtable_bytes,
+            "runs": [[len(r.entries), r.nbytes] for r in self.runs],
+            "flushes": self.flush_count,
+            "compactions": self.compaction_count,
+        }
+
     def key_range(self) -> Optional[tuple[bytes, bytes]]:
         """(smallest, largest) over the whole Dev-LSM, or None if empty."""
         if self.is_empty:
@@ -182,7 +193,7 @@ class DevLsm:
             self._memtable_bytes -= entry_size(old)
         self._memtable[key] = entry
         self._memtable_bytes += entry_size(entry)
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             touch(self.env, "devlsm.put.applied")
         if self._memtable_bytes >= cfg.memtable_bytes:
             yield from self._flush()
@@ -198,7 +209,7 @@ class DevLsm:
         _sp = (tr.begin("devlsm", "devlsm.flush", actor="devlsm",
                         args={"bytes": self._memtable_bytes})
                if tr is not None else None)
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "devlsm.flush.start")
         # Snapshot, don't swap: the memtable must stay intact until the run
         # is installed.  The flush runs on the calling host process, so a
@@ -225,7 +236,7 @@ class DevLsm:
                 del self._memtable[key]
                 self._memtable_bytes -= entry_size(entry)
         self.flush_count += 1
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "devlsm.flush.complete")
         if _sp is not None:
             tr.end(_sp, args={"runs": len(self.runs)})
@@ -268,7 +279,7 @@ class DevLsm:
         cache (Table V's explanation).
         """
         cfg = self.config
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "devlsm.get")
         self.arm.charge(cfg.arm_op_cost, tag="devlsm.get")
         hit = self._memtable.get(key)
@@ -354,7 +365,7 @@ class DevLsm:
     # -- reset / recovery ----------------------------------------------------
     def reset(self) -> None:
         """Drop all state and trim the KV region (post-rollback step 8)."""
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             touch(self.env, "devlsm.reset")
         self._memtable = {}
         self._memtable_bytes = 0

@@ -100,6 +100,31 @@ class Ftl:
     def total_logical_pages(self) -> int:
         return sum(r.lpn_count for r in self.regions.values())
 
+    def state_digest(self) -> dict:
+        """FTL occupancy + wear for journal digest checkpoints.
+
+        Aggregates (counts and sums) rather than raw maps keep the dict
+        cheap to hash at every checkpoint while still flipping on any
+        divergent program, erase, GC move or block retirement.
+        """
+        return {
+            "mapped": len(self._l2p),
+            "programs": sum(self.program_counts.values()),
+            "erases": sum(self.erase_counts.values()),
+            "retired": sorted(self.retired_blocks),
+            "last_programmed": self.last_programmed_block,
+            "last_erased": self.last_erased_block,
+            "regions": {
+                name: [len(r.free_blocks), len(r.used_blocks),
+                       r.open_block, r.next_page_in_block]
+                for name, r in self.regions.items()
+            },
+            "gc": {
+                name: [s.invocations, s.pages_moved, s.blocks_erased]
+                for name, s in self.gc_stats.items()
+            },
+        }
+
     def region_of(self, lpn: int) -> Region:
         for r in self.regions.values():
             if r.contains(lpn):

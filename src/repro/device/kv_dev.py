@@ -78,7 +78,7 @@ class KvDevice:
     def _submit(self, site: str) -> Generator:
         """Probe the per-verb submission fault site; returns the fired
         action so the verb can honor DROP/DUPLICATE semantics."""
-        if self.env.faults is None:
+        if self.env.faults is None and self.env.journal is None:
             return None
         action = yield from fault_point(self.env, site)
         return action
@@ -107,7 +107,7 @@ class KvDevice:
             self.duplicated_commands += 1
         if _sp is not None:
             tr.end(_sp)
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "kv.put.complete")
 
     def put_batch(self, triples: list) -> Generator:
@@ -141,7 +141,7 @@ class KvDevice:
             self.duplicated_commands += 1
         if _sp is not None:
             tr.end(_sp)
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "kv.put_batch.complete")
 
     def delete(self, key: bytes, seq: int) -> Generator:
@@ -167,7 +167,7 @@ class KvDevice:
             self.duplicated_commands += 1
         if _sp is not None:
             tr.end(_sp)
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "kv.delete.complete")
 
     def get(self, key: bytes) -> Generator:
@@ -236,7 +236,7 @@ class KvDevice:
         if _sp is not None:
             tr.end(_sp, args={"entries": len(entries),
                               "bytes": sum(entry_size(e) for e in entries)})
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "kv.bulk_scan.complete")
         return entries
 
@@ -249,7 +249,7 @@ class KvDevice:
         yield from self._submit("kv.reset.start")
         yield from self.pcie.transfer(_CAPSULE_BYTES)
         self.devlsm.reset()
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             yield from fault_point(self.env, "kv.reset.complete")
         return None
 

@@ -95,7 +95,7 @@ class NandArray:
         _sp = (tr.begin("nand", f"nand.{op}",
                         args={"bytes": nbytes, "priority": priority})
                if tr is not None else None)
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             # Fault sites: nand.read / nand.program / nand.erase.
             yield from fault_point(self.env, f"nand.{op}")
         dt = self.service_time(op, nbytes)

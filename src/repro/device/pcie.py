@@ -129,7 +129,7 @@ class BandwidthPipe:
                         args={"bytes": nbytes, "dir": direction})
                if tr is not None else None)
         injected_delay = 0.0
-        if self.env.faults is not None:
+        if self.env.faults is not None or self.env.journal is not None:
             # Fault site: e.g. "pcie.transfer" (modeled transfer drop/delay).
             # DELAY is folded into the service interval below — the slowed
             # transfer holds the link and the ledger/busy-time/telemetry

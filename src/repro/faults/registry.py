@@ -221,6 +221,12 @@ def fault_point(env: Environment, site: str) -> Generator:
     out of the site; ``CRASH`` latches and lets execution continue to the
     next yield.
     """
+    jr = env.journal
+    if jr is not None:
+        # Before the registry guard: site records exist with or without a
+        # FaultRegistry, so the bisector can name sites on clean runs too.
+        proc = env._active_process
+        jr.site(env._now, proc.name if proc is not None else "", site)
     reg = env.faults
     if reg is None:
         return None
@@ -233,6 +239,10 @@ def fault_point(env: Environment, site: str) -> Generator:
 
 def touch(env: Environment, site: str) -> Optional[FaultAction]:
     """Probe ``site`` from synchronous code (cannot honor DELAY)."""
+    jr = env.journal
+    if jr is not None:
+        proc = env._active_process
+        jr.site(env._now, proc.name if proc is not None else "", site)
     reg = env.faults
     if reg is None:
         return None

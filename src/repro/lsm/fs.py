@@ -179,14 +179,14 @@ class FileSystem:
         f.extents.append((off, n))
         f.size += n
         env = self.device.env
-        if env.faults is not None:
+        if env.faults is not None or env.journal is not None:
             # Between allocation and the device write: a crash here models
             # a torn append (space claimed, data never made it to media).
             yield from fault_point(env, "fs.append.alloc")
         yield from self.device.write(off, n, priority=priority)
         if self.page_cache is not None:
             self.page_cache.grow(f.name, n)
-        if env.faults is not None:
+        if env.faults is not None or env.journal is not None:
             yield from fault_point(env, "fs.append.complete")
 
     def read(self, f: SimFile, offset: int, nbytes: int,
@@ -198,7 +198,7 @@ class FileSystem:
             raise FsError(
                 f"read beyond EOF: {f.name} offset={offset} n={nbytes} size={f.size}"
             )
-        if self.device.env.faults is not None:
+        if self.device.env.faults is not None or self.device.env.journal is not None:
             # Probed before the page-cache check so cache-served reads are
             # still injectable (modeled read failure, not media failure).
             yield from fault_point(self.device.env, "fs.read.start")

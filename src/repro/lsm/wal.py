@@ -58,7 +58,7 @@ class Wal:
         flushed by the caller (`sync`) before switching.
         """
         env = self.fs.device.env
-        if env.faults is not None:
+        if env.faults is not None or env.journal is not None:
             touch(env, "wal.segment.switch")
         self._segment_seq += 1
         name = f"{self.name_prefix}.{self._segment_seq:06d}"
@@ -87,7 +87,7 @@ class Wal:
         if lp is not None:
             lp.enter("wal")
         try:
-            if env.faults is not None:
+            if env.faults is not None or env.journal is not None:
                 # Pre-persistence: nothing of this record is buffered yet.
                 yield from fault_point(env, "wal.append")
             self._buffer += nbytes
@@ -117,13 +117,13 @@ class Wal:
         _sp = (tr.begin("wal", "wal.group_commit",
                         args={"bytes": nbytes, "records": len(records)})
                if tr is not None else None)
-        if env.faults is not None:
+        if env.faults is not None or env.journal is not None:
             # Between buffer hand-off and media write: a crash here tears
             # the whole commit group (none of its records become durable).
             yield from fault_point(env, "wal.flush.start")
         yield from self.fs.append(self._segment, nbytes)
         self._journals[self._segment.name].extend(records)
-        if env.faults is not None:
+        if env.faults is not None or env.journal is not None:
             yield from fault_point(env, "wal.flush.complete")
         if _sp is not None:
             tr.end(_sp)

@@ -25,7 +25,12 @@ Pieces:
   typed :class:`HealthEvent` edges;
 * telemetry exporters — Prometheus text format, CSV, terminal sparkline
   dashboard (``python -m repro.obs dash``), and bench-baseline
-  comparison (``python -m repro.obs compare A.json B.json``).
+  comparison (``python -m repro.obs compare A.json B.json``);
+* :class:`Journal` — the deterministic flight recorder (``env.journal``,
+  same no-op guard): every executed kernel event, every fault-site visit,
+  periodic per-layer state digests; with the first-divergence bisector
+  (``python -m repro.obs diff A.jsonl.gz B.jsonl.gz``) it turns a golden
+  mismatch into "first divergent event at t=…, process=…, site=…".
 """
 
 from .attribution import (
@@ -56,6 +61,17 @@ from .profiler import (
     lineage_report,
     ops_from_chrome,
     percentile_bands,
+)
+from .journal import (
+    Journal,
+    digest_state,
+    first_divergence,
+    format_divergence,
+    load_journal,
+    register_digest_sources,
+    replay_window,
+    write_divergence_artifact,
+    write_journal,
 )
 from .rules import (
     HealthEvent,
@@ -107,4 +123,13 @@ __all__ = [
     "telemetry_to_csv",
     "compare_baselines",
     "format_comparison",
+    "Journal",
+    "digest_state",
+    "register_digest_sources",
+    "write_journal",
+    "load_journal",
+    "first_divergence",
+    "format_divergence",
+    "write_divergence_artifact",
+    "replay_window",
 ]

@@ -13,7 +13,14 @@
 * ``lineage`` — percentile-conditioned latency-lineage decomposition
   from a Chrome trace recorded with the lineage profiler on
   (``--lineage`` on the bench CLI, or ``RunOptions(lineage=True)``
-  plus a trace path).
+  plus a trace path);
+* ``diff`` — first-divergence bisector over two journal recordings
+  (``--journal`` on the bench CLI): first digest mismatch, first
+  divergent event with context, suspect fault site; rc=1 when the
+  journals diverge;
+* ``replay-to`` — rerun one cell recording only a suspect window
+  ``[t0, t1]`` (determinism makes the re-run exact; the windowed
+  journal stays small).
 """
 
 from __future__ import annotations
@@ -144,6 +151,41 @@ def _baseline_validate_cmd(args) -> int:
     return status
 
 
+def _diff_cmd(args) -> int:
+    import json
+
+    from .journal import first_divergence, format_divergence, load_journal
+    try:
+        a = load_journal(args.run_a)
+        b = load_journal(args.run_b)
+    except (OSError, ValueError) as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 2
+    report = first_divergence(a, b, context=args.context)
+    if args.json_out:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_divergence(report, name_a=args.run_a,
+                                name_b=args.run_b))
+    return 1 if report["divergent"] else 0
+
+
+def _replay_to_cmd(args) -> int:
+    from ..bench.profiles import get_profile
+    from .journal import replay_window
+    try:
+        profile = get_profile(args.profile)
+        out = replay_window(args.system, args.workload, profile,
+                            args.t0, args.t1, args.out,
+                            seed=args.seed, rollback=args.rollback)
+    except (OSError, ValueError) as exc:
+        print(f"replay-to failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {out['path']}: {out['records']} record(s) in window "
+          f"[{args.t0}, {args.t1}] ({out['events']} events journal-wide)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -188,6 +230,34 @@ def main(argv=None) -> int:
     p.add_argument("--json", metavar="PATH", default=None, dest="json_out",
                    help="write bands + exemplars as JSON instead of a table")
     p.set_defaults(func=_lineage_cmd)
+
+    p = sub.add_parser("diff",
+                       help="first-divergence bisect of two journal "
+                            "recordings (rc=1 when they diverge)")
+    p.add_argument("run_a", help="journal JSONL[.gz] (the reference)")
+    p.add_argument("run_b", help="journal JSONL[.gz] (the candidate)")
+    p.add_argument("--context", type=int, default=6, metavar="K",
+                   help="surrounding records to show (default 6)")
+    p.add_argument("--json", action="store_true", dest="json_out",
+                   help="emit the divergence report as JSON")
+    p.set_defaults(func=_diff_cmd)
+
+    p = sub.add_parser("replay-to",
+                       help="rerun a cell recording only a suspect "
+                            "sim-time window")
+    p.add_argument("t0", type=float, help="window start (sim seconds)")
+    p.add_argument("t1", type=float, help="window end (sim seconds)")
+    p.add_argument("out", help="output journal path (.jsonl[.gz])")
+    p.add_argument("--system", default="kvaccel",
+                   help="system to build (default kvaccel)")
+    p.add_argument("--workload", default="A",
+                   help="workload letter (default A)")
+    p.add_argument("--profile", default="mini",
+                   help="experiment profile name (default mini)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--rollback", default="disabled",
+                   help="kvaccel rollback scheme (default disabled)")
+    p.set_defaults(func=_replay_to_cmd)
 
     args = parser.parse_args(argv)
     return args.func(args)

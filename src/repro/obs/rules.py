@@ -271,21 +271,26 @@ def default_rules(period: float = 1.0,
     ]
 
 
-def cluster_shard_rules(shards: int, period: float = 1.0) -> list[HealthRule]:
+def cluster_shard_rules(shards: int, period: float = 1.0,
+                        retry_storm_rate: float = 200.0) -> list[HealthRule]:
     """Per-shard instances of the cluster-relevant rules.
 
-    One ``stall_storm`` + ``degraded_mode_entered`` pair per shard,
-    reading the ``cluster.shard{k}.*`` channels the cluster facade
-    publishes, with the shard id carried in both the rule name and the
-    emitted event's ``data`` — so a fleet dashboard can tell *which*
-    shard is storming, not just that one is.
+    One ``stall_storm`` + ``degraded_mode_entered`` + ``retry_storm``
+    triple per shard, reading the ``cluster.shard{k}.*`` channels the
+    cluster facade publishes, with the shard id carried in both the rule
+    name and the emitted event's ``data`` — so a fleet dashboard can
+    tell *which* shard is storming, not just that one is.  The retry
+    channel only exists on resilience-enabled shards; elsewhere the
+    rule reads 0 and stays quiet.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    storm_retries = retry_storm_rate * period
     rules: list[HealthRule] = []
     for k in range(shards):
         stall_ch = f"cluster.shard{k}.stall_time"
         resil_ch = f"cluster.shard{k}.resil_state"
+        retry_ch = f"cluster.shard{k}.retries"
 
         def shard_stall_storm(win, _ch=stall_ch, _k=k):
             stalled = sum(1 for s in win if _get(s, _ch) > 0.5 * period)
@@ -297,6 +302,11 @@ def cluster_shard_rules(shards: int, period: float = 1.0) -> list[HealthRule]:
             state = _get(win[-1], _ch)
             return state >= 2.0, {"shard": _k, "resil_state": state}
 
+        def shard_retry_storm(win, _ch=retry_ch, _k=k):
+            avg = sum(_get(s, _ch) for s in win) / len(win)
+            return avg >= storm_retries, {"shard": _k,
+                                          "retries_per_bucket": round(avg, 1)}
+
         rules.append(HealthRule(
             f"stall_storm.shard{k}", "critical", 10, shard_stall_storm,
             f"write stalls dominate a 10-bucket window on shard {k}"))
@@ -304,4 +314,7 @@ def cluster_shard_rules(shards: int, period: float = 1.0) -> list[HealthRule]:
             f"degraded_mode_entered.shard{k}", "critical", 1,
             shard_degraded,
             f"shard {k} entered DEGRADED: Dev-LSM admission suspended"))
+        rules.append(HealthRule(
+            f"retry_storm.shard{k}", "warning", 3, shard_retry_storm,
+            f"sustained device-command retry pressure on shard {k}"))
     return rules

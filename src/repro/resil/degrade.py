@@ -84,6 +84,15 @@ class DegradationManager:
         return (f"DegradationManager({self.state}, errors={self.device_errors},"
                 f" fallbacks={self.fallback_writes})")
 
+    def state_digest(self) -> dict:
+        """Degradation-machine state for journal digest checkpoints."""
+        return {
+            "state": self.state,
+            "transitions": [[t, s] for t, s in self.transitions],
+            "device_errors": self.device_errors,
+            "fallback_writes": self.fallback_writes,
+        }
+
     # -- queries the controller / rollback make ------------------------------
     def allows_redirect(self) -> bool:
         """May the controller admit this write to the Dev-LSM?"""

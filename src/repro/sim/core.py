@@ -416,6 +416,10 @@ class Environment:
         # Optional KernelProfile; run() delegates to the instrumented loop
         # while installed and is untouched otherwise.
         self.kernel_profiler = None
+        # Optional repro.obs.Journal flight recorder; run() delegates to
+        # the journaled loop while installed.  Purely passive — it never
+        # schedules events — so journaled trajectories are bit-identical.
+        self.journal = None
 
     @property
     def now(self) -> float:
@@ -501,6 +505,21 @@ class Environment:
             raise SimulationError("no more events")
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        jr = self.journal
+        if jr is not None:
+            if when >= jr._next_ckpt:
+                jr._checkpoint(when)
+            proc = event._proc
+            if proc is not None:
+                jname = proc.name
+            else:
+                jname = ""
+                for cb in event.callbacks:
+                    owner = getattr(cb, "__self__", None)
+                    if type(owner) is Process:
+                        jname = owner.name
+                        break
+            jr.record_event(when, jname, type(event).__name__)
         event._run_callbacks()
         pool = self._timeout_pool
         if (type(event) is Timeout and len(pool) < _TIMEOUT_POOL_CAP
@@ -530,6 +549,8 @@ class Environment:
         """
         if self.kernel_profiler is not None:
             return self._run_profiled(until)
+        if self.journal is not None:
+            return self._run_journaled(until)
         stop_event: Optional[Event] = None
         deadline = float("inf")
         if isinstance(until, Event):
@@ -733,6 +754,7 @@ class Environment:
         sampled_ns = prof.sampled_wall_ns_by_class
         sampled_n = prof.sampled_events_by_class
         sample_every = prof.sample_every
+        jr = self.journal  # profiled runs can journal too
         wall_t0 = perf_counter_ns()
         try:
             while heap:
@@ -746,16 +768,23 @@ class Environment:
                 prof.heap_pops += 1
                 cls = type(event).__name__
                 by_class[cls] = by_class.get(cls, 0) + 1
+                jname = ""
                 proc = event._proc
                 if proc is not None:
-                    name = proc.name
+                    jname = name = proc.name
                     resumes[name] = resumes.get(name, 0) + 1
                 else:
                     for cb in event.callbacks:
                         owner = getattr(cb, "__self__", None)
                         if type(owner) is Process:
                             name = owner.name
+                            if not jname:
+                                jname = name
                             resumes[name] = resumes.get(name, 0) + 1
+                if jr is not None:
+                    if when >= jr._next_ckpt:
+                        jr._checkpoint(when)
+                    jr.record_event(when, jname, cls)
                 if prof.heap_pops % sample_every == 0:
                     t0 = perf_counter_ns()
                     event._run_callbacks()
@@ -770,6 +799,78 @@ class Environment:
                     prof.pool_recycled += 1
         finally:
             prof.wall_ns += perf_counter_ns() - wall_t0
+
+        if stop_event is not None:
+            if stop_event._state != _PROCESSED:
+                raise SimulationError("run(until=event): event never fired")
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if deadline != float("inf") and self._now < deadline:
+            self._now = deadline
+        return None
+
+    def _run_journaled(self, until: Optional[float | Event] = None) -> Any:
+        """run() with the flight recorder: generic event dispatch plus one
+        journal record per executed event and a digest checkpoint whenever
+        the popped event crosses the next boundary.
+
+        Semantically in lockstep with :meth:`run`'s inlined loops (same
+        heap key, ``_run_callbacks`` dispatch, same freelist recycle rule);
+        the journal is write-only side state, so journaled runs follow the
+        identical trajectory.  The checkpoint fires *before* the boundary-
+        crossing event dispatches, so the digest captures layer state as of
+        the boundary itself.
+        """
+        jr = self.journal
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until {deadline} is in the past (now={self._now})")
+
+        heap = self._heap
+        pop = heappop
+        pool = self._timeout_pool
+        pool_cap = _TIMEOUT_POOL_CAP
+        getrefcount = sys.getrefcount
+        timeout_cls = Timeout
+        process_cls = Process
+        record = jr.record_event
+
+        stopped: list = []
+        if stop_event is not None and stop_event._state != _PROCESSED:
+            stop_event.callbacks.append(stopped.append)
+
+        while heap:
+            if stopped and stop_event is not None:
+                break
+            if heap[0][0] >= deadline:
+                self._now = deadline
+                return None
+            when, _prio, _seq, event = pop(heap)
+            self._now = when
+            if when >= jr._next_ckpt:
+                jr._checkpoint(when)
+            proc = event._proc
+            if proc is not None:
+                jname = proc.name
+            else:
+                jname = ""
+                for cb in event.callbacks:
+                    owner = getattr(cb, "__self__", None)
+                    if type(owner) is process_cls:
+                        jname = owner.name
+                        break
+            record(when, jname, type(event).__name__)
+            event._run_callbacks()
+            if (type(event) is timeout_cls and len(pool) < pool_cap
+                    and getrefcount(event) == 2):  # local var + arg only
+                pool.append(event)
 
         if stop_event is not None:
             if stop_event._state != _PROCESSED:

@@ -24,9 +24,22 @@ def test_rule_instances_per_shard():
     for k in range(3):
         assert f"stall_storm.shard{k}" in names
         assert f"degraded_mode_entered.shard{k}" in names
-    assert len(rules) == 6
+        assert f"retry_storm.shard{k}" in names
+    assert len(rules) == 9
     with pytest.raises(ValueError):
         cluster_shard_rules(0)
+
+
+def test_retry_storm_fires_only_on_the_storming_shard():
+    mon = HealthMonitor(None, cluster_shard_rules(2, retry_storm_rate=50.0))
+    # Three buckets of sustained retry pressure on shard 1 only.
+    for t in range(3):
+        mon.observe(float(t), {"cluster.shard1.retries": 80.0})
+    fired = {e.rule for e in mon.events if e.phase == "enter"}
+    assert fired == {"retry_storm.shard1"}
+    ev = next(e for e in mon.events if e.rule == "retry_storm.shard1")
+    assert ev.data["shard"] == 1
+    assert ev.data["retries_per_bucket"] >= 50.0
 
 
 def test_stall_storm_fires_only_on_the_storming_shard():
