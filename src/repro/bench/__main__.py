@@ -61,6 +61,11 @@ def main(argv=None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--quick", action="store_true",
                         help="use the fast mini256 profile")
+    parser.add_argument("--profile", metavar="NAME", default=None,
+                        help="run under a named profile: paper, "
+                             "paper-smoke (truncated ~10^6-op slice of the "
+                             "paper constants), mini, or mini<N>; "
+                             "overrides --quick and REPRO_PROFILE")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run independent cells on N worker processes "
                              "(results are deterministic and ordered by "
@@ -84,7 +89,7 @@ def main(argv=None) -> int:
                         help="write a BENCH_<exp>.json baseline per "
                              "experiment (telemetry + health enabled); "
                              "PATH may be a file (single experiment) or "
-                             "a directory")
+                             "a directory (default: benchmarks/)")
     parser.add_argument("--journal", metavar="PATH", default=None,
                         help="record the deterministic flight recorder per "
                              "cell (JSONL, gzip when PATH ends in .gz); "
@@ -101,6 +106,14 @@ def main(argv=None) -> int:
         parser.error("--report requires --trace")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    named_profile = None
+    if args.profile is not None:
+        from .profiles import get_profile
+        try:
+            named_profile = get_profile(args.profile)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.list or not args.experiment:
         return _list_experiments()
@@ -133,6 +146,8 @@ def main(argv=None) -> int:
         # `all --shards 1,2` doesn't trip experiments without that axis.
         kwargs = {}
         accepted = inspect.signature(ALL[name].run).parameters
+        if named_profile is not None:
+            kwargs["profile"] = named_profile
         if args.shards is not None and "shards" in accepted:
             kwargs["shards"] = tuple(
                 int(n) for n in args.shards.replace("{", "").replace(
@@ -173,17 +188,23 @@ def main(argv=None) -> int:
                      "experiment": name, "cells": lineage_cells},
                     indent=2, sort_keys=True) + "\n")
                 print(f"\nwrote {lpath}")
-        if args.json_out is not None:
+        if args.json_out is not None and "results" not in out:
+            # Microbench experiments (tab06, sec6d) have no per-cell
+            # RunResults — nothing to baseline.
+            print(f"(no per-cell results — no baseline for {name})")
+        elif args.json_out is not None:
             from .baseline import (build_baseline, default_baseline_path,
                                    write_baseline)
             from .experiments.common import resolve_profile
-            profile = resolve_profile(None, args.quick)
+            profile = resolve_profile(named_profile, args.quick)
             doc = build_baseline(name, profile.name, out["results"],
                                  checks_passed=out["check"].passed,
                                  quick=args.quick)
             target = args.json_out
             if target == "":
-                path = default_baseline_path(name)
+                base = Path("benchmarks")
+                base.mkdir(parents=True, exist_ok=True)
+                path = default_baseline_path(name, base)
             elif Path(target).is_dir():
                 path = default_baseline_path(name, target)
             elif len(names) > 1:

@@ -27,8 +27,8 @@ from ..device import DevLsmConfig, HybridSsdConfig, KvDeviceConfig, MiB, NandGeo
 from ..lsm import LsmOptions
 from ..resil import ResilienceConfig
 
-__all__ = ["ExperimentProfile", "paper_profile", "mini_profile",
-           "active_profile", "get_profile"]
+__all__ = ["ExperimentProfile", "paper_profile", "paper_smoke_profile",
+           "mini_profile", "active_profile", "get_profile"]
 
 
 @dataclass
@@ -162,10 +162,34 @@ def mini_profile(scale: int = 64) -> ExperimentProfile:
     )
 
 
+def paper_smoke_profile() -> ExperimentProfile:
+    """A truncated slice of the *unscaled* paper profile.
+
+    Same 1 TB geometry, paper RocksDB options and detector periods as
+    :func:`paper_profile` — only the horizon is cut to ~10^6 driver
+    operations (≈40 s at the paper's steady-state fillrandom throughput)
+    and the seekrandom preload is shrunk so workload E smoke runs do not
+    spend minutes filling 20 GB.  CI's perf job runs this to catch
+    regressions that only show at paper-sized capacities (big memtables,
+    deep queues, paper NAND latencies) without paying for a 600 s cell.
+    Shape checks are tuned for the full horizon (stall dynamics need
+    minutes of compaction debt to develop), so a truncated slice is a
+    perf/smoke vehicle, not a figure-reproduction profile.
+    """
+    p = paper_profile()
+    p.name = "paper-smoke"
+    p.duration = 40.0
+    p.seekrandom_fill_bytes = 512 * MiB
+    return p
+
+
 def get_profile(spec: str) -> ExperimentProfile:
-    """Resolve a profile by name: ``paper``, ``mini`` or ``mini<N>``."""
+    """Resolve a profile by name: ``paper``, ``paper-smoke``, ``mini``
+    or ``mini<N>``."""
     if spec == "paper":
         return paper_profile()
+    if spec == "paper-smoke":
+        return paper_smoke_profile()
     if spec == "mini":
         return mini_profile(64)
     if spec.startswith("mini"):

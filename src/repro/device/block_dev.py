@@ -76,8 +76,7 @@ class BlockDevice:
 
     def _write(self, offset: int, nbytes: int, priority: int = 0) -> Generator:
         pages = self._pages(offset, nbytes)
-        for lpn in pages:
-            self.ftl.write(lpn)
+        self.ftl.write_batch(pages)
         self.bytes_written += nbytes
         yield from self.pcie.transfer(nbytes)
         yield from self.nand.io("program", nbytes, priority=priority)

@@ -223,8 +223,7 @@ class DevLsm:
                   largest=entries[-1][0], nbytes=nbytes)
         # Map pages in the KV region and charge NAND program + ARM copy.
         pages = max(1, -(-nbytes // self.page_size))
-        for _ in range(pages):
-            self.ftl.write(self._alloc_lpn())
+        self.ftl.write_batch(self._alloc_lpn() for _ in range(pages))
         yield from self.arm.consume(nbytes * self.config.arm_byte_cost,
                                     tag="devlsm.flush")
         yield from self.nand.io("program", nbytes)
@@ -262,8 +261,11 @@ class DevLsm:
                if tr is not None else None)
         yield from self.arm.consume((old_bytes + nbytes) * self.config.arm_byte_cost,
                                     tag="devlsm.compact")
-        yield from self.nand.io("read", old_bytes)
-        yield from self.nand.io("program", nbytes)
+        # Channel burst: the read-back of the old runs and the program of
+        # the merged run ride one macro event (device-internal NAND, no
+        # PCIe), halving the kernel events per compaction.
+        yield from self.nand.io_burst([("read", old_bytes),
+                                       ("program", nbytes)])
         if merged:
             self.runs = [Run(entries=merged, smallest=merged[0][0],
                              largest=merged[-1][0], nbytes=nbytes)]
@@ -355,11 +357,16 @@ class DevLsm:
         yield from self.arm.consume(total * self.config.arm_byte_cost,
                                     tag="devlsm.scan")
         chunk = self.config.dma_chunk_bytes
+        sizes = []
         remaining = total
         while remaining > 0:
             this = min(chunk, remaining)
-            yield from pcie.transfer(this, direction="rx")
+            sizes.append(this)
             remaining -= this
+        # Macro events: the whole chunk sequence is known up front, so the
+        # DMA stream coalesces into one scheduled event per chunk group
+        # while the ledger still sees each 512 KB chunk individually.
+        yield from pcie.transfer_burst(sizes, direction="rx")
         return merged
 
     # -- reset / recovery ----------------------------------------------------

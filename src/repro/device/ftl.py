@@ -15,7 +15,7 @@ them; the large simulations map metadata only).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from .geometry import NandGeometry
 
@@ -179,6 +179,17 @@ class Ftl:
         if data is not None:
             self._data[ppn] = data
         return ppn
+
+    def write_batch(self, lpns: Iterable[int]) -> list[int]:
+        """Map a batch of logical pages; returns the PPNs in order.
+
+        Metadata companion of the device layers' macro events (channel
+        bursts map whole page runs at once).  Strictly equivalent to
+        calling :meth:`write` per LPN — same allocation order, same wear
+        counters, same ``state_digest`` — so batching call sites cannot
+        perturb golden trajectories.
+        """
+        return [self.write(lpn) for lpn in lpns]
 
     def read(self, lpn: int) -> Any:
         """Return the payload at ``lpn`` (None if written without payload)."""

@@ -18,7 +18,7 @@ from typing import Generator, Optional
 from ..faults.registry import fault_point
 from ..sim import Environment, PriorityResource, Resource
 from .geometry import MiB, NandGeometry
-from .pcie import TrafficLedger
+from .pcie import MACRO_MAX, TrafficLedger
 
 __all__ = ["NandArray"]
 
@@ -130,6 +130,95 @@ class NandArray:
                     lp.leave()
             self.busy_time += dt
             self.ledger.record(t0, self.env.now, nbytes)
+        if err is not None:
+            raise err
+        if _sp is not None:
+            tr.end(_sp)
+
+    def io_burst(self, ops, priority: int = 0) -> Generator:
+        """Serve a channel burst of NAND operations as macro events.
+
+        ``ops`` is a sequence of ``(op, nbytes)`` pairs served in order.
+        Groups of up to :data:`~repro.device.pcie.MACRO_MAX` operations
+        share one scheduled kernel event (one channel grant + one timeout
+        for the summed service time); the channel is re-requested between
+        groups so concurrent flush/compaction traffic interleaves at group
+        granularity, like the scalar FIFO.  Per-op semantics are preserved:
+        every op hits its ``nand.<op>`` fault site, is ledgered over the
+        exact sub-interval it held the channel, and consults the error
+        model.  An op that errors truncates the burst — it occupies the
+        media for its (stretched) service time and then the burst completes
+        with the error status, exactly like :meth:`io`.
+        """
+        if not ops:
+            return
+        if len(ops) == 1:
+            op, nbytes = ops[0]
+            yield from self.io(op, nbytes, priority=priority)
+            return
+        env = self.env
+        tr = env.tracer
+        _sp = (tr.begin("nand", "nand.burst",
+                        args={"ops": len(ops),
+                              "bytes": sum(nb for _o, nb in ops),
+                              "priority": priority})
+               if tr is not None else None)
+        macro = env.macro
+        macro.bursts += 1
+        probes = env.faults is not None or env.journal is not None
+        lanes = self._res.capacity
+        lat = {"read": self._lat_read, "program": self._lat_program}
+        lp = env.lineage
+        err = None
+        i = 0
+        n = len(ops)
+        while i < n and err is None:
+            group = ops[i:i + MACRO_MAX]
+            i += len(group)
+            served = []          # (nbytes, dt) actually occupying the media
+            for op, nbytes in group:
+                if nbytes < 0:
+                    raise ValueError("nbytes must be >= 0")
+                if probes:
+                    yield from fault_point(env, f"nand.{op}")
+                dt = self.service_time(op, nbytes)
+                if lanes > 1 and op != "erase":
+                    dt = lat[op] + (dt - lat[op]) * lanes
+                if self.error_model is not None:
+                    extra, err = self.error_model.on_io(op, nbytes)
+                    dt += extra
+                served.append((nbytes, dt))
+                macro.ops += 1
+                if err is not None:
+                    break        # truncate: ops after the failure never ran
+            req = (self._res.request(priority=priority)
+                   if self.priority_scheduling else self._res.request())
+            with req:
+                if lp is not None:
+                    lp.enter("queue")
+                try:
+                    yield req
+                finally:
+                    if lp is not None:
+                        lp.leave()
+                t0 = env.now
+                total_dt = 0.0
+                for _nb, dt in served:
+                    total_dt += dt
+                if lp is not None:
+                    lp.enter("nand")
+                try:
+                    yield env.timeout(total_dt)
+                finally:
+                    if lp is not None:
+                        lp.leave()
+                macro.events += 1
+                self.busy_time += total_dt
+                a = t0
+                for nbytes, dt in served:
+                    b = a + dt
+                    self.ledger.record(a, b, nbytes)
+                    a = b
         if err is not None:
             raise err
         if _sp is not None:

@@ -37,13 +37,19 @@ from ..sim import Environment, Resource, install_kernel_profiler
 __all__ = [
     "PERF_SCHEMA", "PERF_VERSION", "KERNEL_BENCHES", "BenchResult",
     "bench_timeout_chain", "bench_event_ping_pong", "bench_process_spawn",
-    "bench_resource_handoff", "run_kernel_benches", "bench_suite_cells",
+    "bench_resource_handoff", "bench_calendar_scale", "bench_macro_burst",
+    "run_kernel_benches", "bench_suite_cells",
     "build_perf_doc", "load_perf_doc", "compare_perf", "default_baseline_path",
-    "profile_kernel_bench", "profile_mini_cell", "format_kernel_profile",
+    "profile_kernel_bench", "profile_mini_cell", "profile_smoke_cell",
+    "format_kernel_profile",
 ]
 
 PERF_SCHEMA = "repro-perf-baseline"
-PERF_VERSION = 1
+# v3: adds the calendar-queue flood (``calendar_scale``) and macro-event
+# (``macro_burst``) benches alongside the four v1 patterns.  The four v1
+# numbers in the pinned baseline are carried over verbatim so speedups
+# keep being measured against the pre-fast-path kernel.
+PERF_VERSION = 3
 
 # Committed pre-change numbers live next to the figure benchmarks.
 _REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -179,11 +185,73 @@ def bench_resource_handoff(workers: int = 16, rounds: int = 1500,
     return _timed("resource_handoff", build, profile=profile)
 
 
+def bench_calendar_scale(procs: int = 16384, iters: int = 12,
+                         profile: bool = False) -> BenchResult:
+    """A timer flood big enough to engage the calendar queue.
+
+    ``procs`` concurrent loopers keep the pending population above the
+    scheduler's heap->calendar upgrade threshold, which is where bucketed
+    O(1) scheduling beats the C binary heap's O(log n) sift.  Delays are
+    spread over three decades so entries land across many buckets (and
+    some in the far-future overflow heap), exercising refill, resize and
+    bucket-page turning rather than a single hot bucket.
+    """
+    def build() -> Environment:
+        env = Environment()
+
+        def looper(delay: float):
+            for _ in range(iters):
+                yield env.timeout(delay)
+
+        for i in range(procs):
+            # Deterministic spread: ~3 decades of delays, no two procs
+            # phase-locked (the +i*1e-7 term breaks timestamp ties).
+            d = 0.05 * (1 + (i % 97)) + (i % 11) * 1e-3 + i * 1e-7
+            if i % 1024 == 0:
+                d += 120.0          # a few far-future entries per page
+            env.process(looper(d), name=f"cal{i}")
+        return env
+
+    return _timed("calendar_scale", build, profile=profile)
+
+
+def bench_macro_burst(rounds: int = 400, chunks: int = 64,
+                      profile: bool = False) -> BenchResult:
+    """Channel-burst DMA: macro events coalescing per-chunk transfers.
+
+    Two concurrent scanners stream ``chunks`` fixed-size chunks per round
+    through one :class:`~repro.device.pcie.BandwidthPipe` burst call, the
+    shape of Dev-LSM bulk scans and compaction I/O.  With macro events the
+    kernel schedules one timeout per MACRO_MAX-chunk group instead of one
+    per chunk; events/sec here measures the whole pattern (grant + burst),
+    so the coalescing win shows up directly.
+    """
+    from ..device.pcie import BandwidthPipe, TrafficLedger
+
+    def build() -> Environment:
+        env = Environment()
+        pipe = BandwidthPipe(env, 4 * 1024 ** 3, name="pcie",
+                             ledger=TrafficLedger(bucket=1.0))
+        sizes = [512 * 1024] * chunks
+
+        def scanner():
+            for _ in range(rounds):
+                yield from pipe.transfer_burst(sizes, direction="rx")
+
+        env.process(scanner(), name="scan0")
+        env.process(scanner(), name="scan1")
+        return env
+
+    return _timed("macro_burst", build, profile=profile)
+
+
 KERNEL_BENCHES: dict[str, Callable[[], BenchResult]] = {
     "timeout_chain": bench_timeout_chain,
     "event_ping_pong": bench_event_ping_pong,
     "process_spawn": bench_process_spawn,
     "resource_handoff": bench_resource_handoff,
+    "calendar_scale": bench_calendar_scale,
+    "macro_burst": bench_macro_burst,
 }
 
 # The headline number the acceptance gate tracks: Timeout churn is what
@@ -314,6 +382,29 @@ def profile_mini_cell(system: str = "kvaccel", workload: str = "A",
     }
 
 
+def profile_smoke_cell(system: str = "kvaccel", workload: str = "A") -> dict:
+    """Profile one cell under the ``paper-smoke`` profile.
+
+    Same contract as :func:`profile_mini_cell`, but the cell runs the
+    truncated ~10^6-op slice of the *unscaled* paper constants — the
+    shape CI's perf job exercises so paper-capacity regressions (big
+    memtables, deep queues, paper NAND latencies) surface without a
+    600 s run.
+    """
+    from ..bench.profiles import paper_smoke_profile
+    from ..bench.runner import RunSpec, run_workload
+    spec = RunSpec(system, workload, 1)
+    t0 = time.perf_counter()
+    result = run_workload(spec, paper_smoke_profile(), kernel_profile=True)
+    wall = time.perf_counter() - t0
+    return {
+        "spec": f"{system}/{workload} (paper-smoke)",
+        "wall_s": float(wall),
+        "events": int(result.extra.get("events_processed", 0)),
+        "profile": result.extra["kernel_profile"],
+    }
+
+
 def format_kernel_profile(prof: dict, top: int = 12) -> str:
     """The sorted hot-site table for one kernel profile dict.
 
@@ -358,4 +449,37 @@ def format_kernel_profile(prof: dict, top: int = 12) -> str:
                      f"{prof.get('resource_queued', 0):,d} queued)")
     lines.append(f"  profiled wall        {prof.get('wall_ns', 0) / 1e6:>10.1f} ms "
                  f"(sampled 1/{prof.get('sample_every', 0)})")
+    q = prof.get("queue") or {}
+    if q:
+        lines.append("")
+        forced = (f" (forced: {q['forced']})"
+                  if q.get("forced") not in (None, "", "auto") else "")
+        locked = " [heap-locked]" if q.get("heap_mode_locked") else ""
+        lines.append(f"  queue discipline     {q.get('mode', '?'):>10s}"
+                     f"{forced}{locked}")
+        lines.append(f"    pending            {q.get('pending', 0):>10,d} "
+                     f"(now-lane {q.get('now_pending', 0):,d}, "
+                     f"far {q.get('far_pending', 0):,d})")
+        lines.append(f"    bucket width       {q.get('width', 0.0):>10.3g} s "
+                     f"x {q.get('bucket_count', 0):,d} buckets, "
+                     f"avg occupancy {q.get('avg_bucket_occupancy', 0.0):.1f}")
+        lines.append(f"    refills/insorts    {q.get('refills', 0):>10,d} "
+                     f"/ {q.get('insorts', 0):,d}, "
+                     f"far pushed {q.get('far_pushed', 0):,d}")
+        lines.append(f"    mode changes       {q.get('upgrades', 0):>10,d} up "
+                     f"/ {q.get('downgrades', 0):,d} down "
+                     f"/ {q.get('resizes', 0):,d} resizes, "
+                     f"fallback rate {q.get('fallback_rate', 0.0):.1%}")
+    m = prof.get("macro") or {}
+    # The coalesce line prints even with no bursts: "1.0x (no bursts)"
+    # tells the reader macro events never engaged in this run.
+    lines.append("")
+    if m.get("events"):
+        lines.append(f"  macro events         {m['events']:>10,d} carrying "
+                     f"{m.get('ops', 0):,d} ops over {m.get('bursts', 0):,d} "
+                     f"bursts — coalesce factor "
+                     f"{m.get('coalesce_factor', 0.0):.1f}x")
+    else:
+        lines.append(f"  macro events         {0:>10,d} "
+                     f"— coalesce factor 1.0x (no bursts)")
     return "\n".join(lines)

@@ -8,6 +8,7 @@ Usage::
     python -m repro.perf --json perf.json     # machine-readable artifact
     python -m repro.perf profile timeout_chain   # kernel self-profile
     python -m repro.perf profile mini --json p.json  # profile a real cell
+    python -m repro.perf profile paper-smoke  # CI's paper-capacity smoke
 
 With the pinned pre-fast-path baseline present
 (``benchmarks/PERF_BASELINE.json``), a speedup column is printed; the
@@ -33,6 +34,7 @@ from . import (
     load_perf_doc,
     profile_kernel_bench,
     profile_mini_cell,
+    profile_smoke_cell,
     run_kernel_benches,
 )
 
@@ -44,21 +46,24 @@ def _profile_main(argv) -> int:
     mini-profile cell through the runner).  Prints the sorted hot-site
     table; ``--json`` writes the raw profile dict.
     """
-    targets = sorted(KERNEL_BENCHES) + ["mini"]
+    targets = sorted(KERNEL_BENCHES) + ["mini", "paper-smoke"]
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf profile",
         description="Wall-clock self-profile of the DES kernel: events by "
-                    "class, resume counts, heap and timeout-pool traffic.")
+                    "class, resume counts, queue discipline, macro-event "
+                    "coalescing, heap and timeout-pool traffic.")
     parser.add_argument("target", choices=targets,
-                        help="microbenchmark to profile, or 'mini' for a "
-                             "real experiment cell")
+                        help="microbenchmark to profile, 'mini' for a real "
+                             "experiment cell, or 'paper-smoke' for the "
+                             "truncated paper-constant cell CI runs")
     parser.add_argument("--json", metavar="PATH", default=None,
                         dest="json_out",
                         help="write the raw kernel profile as JSON")
     args = parser.parse_args(argv)
 
-    if args.target == "mini":
-        out = profile_mini_cell()
+    if args.target in ("mini", "paper-smoke"):
+        out = (profile_mini_cell() if args.target == "mini"
+               else profile_smoke_cell())
         prof = out["profile"]
         print(f"kernel profile: cell {out['spec']} "
               f"({out['events']:,d} events in {out['wall_s']:.2f}s)")
@@ -107,6 +112,11 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         dest="json_out",
                         help="write results as a perf-baseline document")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="RATIO",
+                        help="exit 1 if any microbenchmark's events/s falls "
+                             "below RATIO x the baseline (0.85 = fail on a "
+                             ">15%% regression); the CI perf gate")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -166,6 +176,23 @@ def main(argv=None) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote {path}")
+
+    if args.fail_below is not None:
+        if not speedups:
+            print("--fail-below: no baseline to compare against",
+                  file=sys.stderr)
+            return 2
+        regressed = {n: s for n, s in speedups.items()
+                     if s < args.fail_below}
+        if regressed:
+            print(f"\nPERF REGRESSION (gate: {args.fail_below:.2f}x of "
+                  f"{baseline_path}):", file=sys.stderr)
+            for name, s in sorted(regressed.items()):
+                print(f"  {name}: {s:.2f}x baseline events/s",
+                      file=sys.stderr)
+            return 1
+        print(f"\nperf gate passed: all benches >= "
+              f"{args.fail_below:.2f}x baseline")
     return 0
 
 

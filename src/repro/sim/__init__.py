@@ -1,5 +1,6 @@
 """Discrete-event simulation kernel (SimPy-like, dependency-free)."""
 
+from .calqueue import CalendarQueue
 from .core import (
     AllOf,
     AnyOf,
@@ -7,6 +8,7 @@ from .core import (
     Event,
     Interrupt,
     KernelProfile,
+    MacroStats,
     Process,
     SimulationError,
     Timeout,
@@ -32,7 +34,9 @@ __all__ = [
     "Store",
     "PeriodicSampler",
     "RateMeter",
+    "CalendarQueue",
     "KernelProfile",
+    "MacroStats",
     "install_kernel_profiler",
     "uninstall_kernel_profiler",
 ]

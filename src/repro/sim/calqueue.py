@@ -1,0 +1,515 @@
+"""Calendar-queue event scheduler for the DES kernel.
+
+A calendar queue (Brown, CACM 1988) buckets future events by timestamp the
+way a desk calendar buckets appointments by day: enqueue hashes the event's
+time to a bucket in O(1), dequeue serves the current bucket in sorted order
+and only "turns the page" when the bucket is exhausted.  For the kernel's
+timeout-dominated workloads — millions of short, clustered delays — this
+replaces the O(log n) binary-heap churn with O(1) amortised operations.
+
+Design constraints, in priority order:
+
+1. **Exact total order.**  Entries are ``(time, priority, seq, event)``
+   tuples and must dequeue in exactly the heap's order — same-timestamp
+   ties broken by priority then schedule sequence.  This is the kernel's
+   determinism contract; every golden trajectory pins on it.  The queue
+   guarantees it structurally: the current bucket is kept sorted (late
+   arrivals are insorted at their exact rank), future buckets cover
+   disjoint, later time ranges, and the far/overflow heap only holds
+   entries later than every bucket.  No tuning decision can reorder
+   events — resizing and mode switches migrate entries, never ranks.
+
+2. **Heap fallback.**  Small queues, far-future entries, and pathological
+   distributions (everything at +inf, extreme spreads) are exactly where
+   calendar queues degrade, so the queue starts in plain binary-heap mode
+   and only *upgrades* to calendar mode once the population is large
+   enough to pay for bucketing.  Far-future entries always live in an
+   overflow heap; a queue that keeps draining below the profitable size
+   downgrades back, and after ``MAX_FALLBACKS`` round trips it locks
+   itself into heap mode (the workload is telling us bucketing loses).
+
+3. **Hot-loop friendliness.**  ``Environment.run`` hoists ``_cur`` and
+   ``_heap`` into locals, so every migration mutates those *list objects
+   in place* (``cur[:] = ...``, ``heap.clear(); heap.extend(...)``) —
+   rebinding them would silently desynchronise the dispatch loop.
+   Exactly one of the two is ever populated: heap mode keeps ``_cur``
+   empty, calendar mode keeps ``_heap`` empty.
+
+Mode selection can be forced with the ``REPRO_SCHED`` environment variable
+(``heap`` | ``cal``); the default (``auto``) upgrades and downgrades by
+population as described above.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from bisect import insort
+from heapq import heapify, heappop, heappush
+
+__all__ = ["CalendarQueue"]
+
+_INF = float("inf")
+
+# Bucket-width tuning targets this many entries per bucket refill.
+_TARGET_OCC = 16
+# Occupancy band checked every _RESIZE_EVERY refills: shrink buckets above
+# the band (sorting refills got expensive), widen below it (page turns
+# dominate).
+_OCC_HI = 48.0
+_OCC_LO = 4.0
+_RESIZE_EVERY = 256
+# Entries this many buckets past the current one go to the overflow heap
+# instead of materialising empty calendar pages.
+_FAR_SPAN = 4096
+# Heap mode upgrades to calendar mode above this population ...
+_UPGRADE_AT = 8192
+# ... and calendar mode downgrades back below this one (hysteresis).
+# Measured crossover (CPython 3.11, jittered-timer churn): C-accelerated
+# heapq wins below ~16k time-distributed pending entries, the calendar
+# wins above.  Real experiment cells idle at 50–200 pending (drivers +
+# samplers + pollers) and their signalling traffic rides the now lane, so
+# only genuine timer floods (scale benches, many-connection models) pay
+# for bucketing — the upgrade point sits just below the crossover.
+_DOWNGRADE_BELOW = 2048
+# Consumed-slot prefix of the current bucket tolerated before compaction
+# (only same-timestamp-heavy workloads ever grow it; page turns reset it).
+_COMPACT_PTR = 8192
+# Downgrades tolerated before the queue locks itself into heap mode.
+_MAX_FALLBACKS = 3
+
+
+class CalendarQueue:
+    """Dual-mode (binary-heap / calendar) priority queue of event entries.
+
+    The kernel's push seam is inlined at its hot sites::
+
+        if q._cal:
+            q.push(entry)
+        else:
+            heappush(q._heap, entry)
+            if len(q._heap) > q._upgrade_at:
+                q._consider_upgrade()
+
+    and the dequeue side reads ``_cur``/``_ptr``/``_heap`` directly (see
+    ``Environment.run``).  Cold callers use :meth:`_pop_entry` /
+    :meth:`peek_time`.
+    """
+
+    __slots__ = (
+        "_heap", "_cal", "_cur", "_ptr", "_cur_idx", "_buckets", "_bidx",
+        "_far", "_far_t", "_n_future", "_width", "_inv_width",
+        "_nowq", "_nptr",
+        "_upgrade_at", "_no_cal", "_forced", "_pushes_cal",
+        "_refills", "_refill_events", "_occ_refills", "_occ_events",
+        "_insorts", "_far_pushed", "_upgrades", "_downgrades", "_resizes",
+    )
+
+    def __init__(self, force: str | None = None):
+        if force is None:
+            force = os.environ.get("REPRO_SCHED", "").strip().lower() or None
+        if force not in (None, "auto", "heap", "cal"):
+            raise ValueError(
+                f"REPRO_SCHED must be auto, heap or cal, not {force!r}")
+        self._heap: list = []          # heap-mode storage (empty in cal mode)
+        self._cal = False              # True once upgraded to calendar mode
+        self._cur: list = []           # current bucket, ascending-sorted;
+        self._ptr = 0                  # consumed slots [0:_ptr) are None
+        self._cur_idx = 0              # calendar index of the current bucket
+        self._buckets: dict[int, list] = {}   # future buckets (unsorted)
+        self._bidx: list[int] = []     # min-heap of future bucket indices
+        self._far: list = []           # overflow heap: t >= _far_t (or +inf)
+        self._far_t = _INF             # finite once in calendar mode
+        self._n_future = 0             # entries in _buckets plus _far
+        # Now lane: entries scheduled at exactly the current simulation
+        # time (succeed, process finish/boot, zero-delay timeouts).  The
+        # clock never moves backwards and seq strictly increases, so
+        # appends arrive pre-sorted and dequeue needs at most one
+        # comparison against the bucket/heap head — the dominant
+        # signalling pattern costs O(1) with zero comparisons when the
+        # timed side is idle.  Mode transitions never touch this lane.
+        self._nowq: list = []
+        self._nptr = 0                 # consumed slots [0:_nptr) are None
+        self._width = 1.0
+        self._inv_width = 1.0
+        self._forced = force
+        self._no_cal = force == "heap"
+        if force == "heap":
+            self._upgrade_at = sys.maxsize
+        elif force == "cal":
+            self._upgrade_at = 0       # upgrade at the first opportunity
+        else:
+            self._upgrade_at = _UPGRADE_AT
+        self._pushes_cal = 0
+        self._refills = 0
+        self._refill_events = 0
+        self._occ_refills = 0
+        self._occ_events = 0
+        self._insorts = 0
+        self._far_pushed = 0
+        self._upgrades = 0
+        self._downgrades = 0
+        self._resizes = 0
+
+    def __len__(self) -> int:
+        return ((len(self._cur) - self._ptr) + len(self._heap)
+                + self._n_future + (len(self._nowq) - self._nptr))
+
+    # -- now lane ----------------------------------------------------------
+    def push_now(self, entry: tuple) -> None:
+        """Enqueue an entry timestamped exactly *now* (cold-path form).
+
+        Correct only for entries whose time equals the current simulation
+        time at the moment of the call — the Environment's push seams
+        guarantee it (succeed, zero-delay schedules).  Hot sites inline
+        the body.
+        """
+        nowq = self._nowq
+        nowq.append(entry)
+        if self._nptr > _COMPACT_PTR:
+            del nowq[:self._nptr]
+            self._nptr = 0
+
+    # -- calendar-mode enqueue -------------------------------------------
+    def push(self, entry: tuple) -> None:
+        """Enqueue in calendar mode (heap mode pushes straight to ``_heap``).
+
+        Entries for the bucket currently being served are insorted at their
+        exact rank (``lo=_ptr`` keeps the bisection off the consumed-slot
+        ``None`` prefix — entries never schedule into the past, so the rank
+        is always at or after the consume pointer).
+        """
+        t = entry[0]
+        cur_ = self._cur
+        if self._ptr < len(cur_) and cur_[-1][0] == _INF:
+            # Serving the final all-+inf bucket (see _advance).  Every
+            # new entry ranks inside or after it — a finite time or a
+            # priority-0 interrupt at +inf can rank *before* pending
+            # +inf entries, so bucket/far routing would serve it late;
+            # insort places it at its exact (time, priority, seq) rank.
+            insort(cur_, entry, lo=self._ptr)
+            self._insorts += 1
+        elif t >= self._far_t:
+            heappush(self._far, entry)
+            self._far_pushed += 1
+            self._n_future += 1
+        else:
+            idx = int(t * self._inv_width)
+            if idx <= self._cur_idx:
+                ptr = self._ptr
+                if ptr > _COMPACT_PTR:
+                    # Same-timestamp-heavy workloads refill the current
+                    # bucket faster than pages turn; drop the consumed
+                    # None prefix in place (run() re-reads _ptr each
+                    # iteration, so the hoisted list stays coherent).
+                    del self._cur[:ptr]
+                    self._ptr = ptr = 0
+                insort(self._cur, entry, lo=ptr)
+                self._insorts += 1
+            else:
+                b = self._buckets.get(idx)
+                if b is None:
+                    self._buckets[idx] = [entry]
+                    heappush(self._bidx, idx)
+                else:
+                    b.append(entry)
+                self._n_future += 1
+        self._pushes_cal += 1
+        if not (self._pushes_cal & 1023) and len(self) < _DOWNGRADE_BELOW \
+                and self._forced != "cal":
+            self._downgrade()
+
+    # -- mode transitions -------------------------------------------------
+    def _consider_upgrade(self) -> None:
+        """Heap → calendar, sized so buckets average ``_TARGET_OCC`` entries.
+
+        Called from the push seam when the heap population crosses
+        ``_upgrade_at``.  Width derives from the pending span: ``span *
+        target / n`` makes the expected per-bucket population the target.
+        """
+        if self._no_cal:
+            return
+        heap = self._heap
+        n = len(heap)
+        if n == 0:
+            return
+        lo = heap[0][0]
+        if lo == _INF:
+            return                      # everything far-future: heap wins
+        hi = lo
+        for e in heap:
+            t = e[0]
+            if t > hi and t != _INF:
+                hi = t
+        span = hi - lo
+        width = span * _TARGET_OCC / n if span > 0.0 else 1.0
+        if not width > 0.0 or width == _INF:
+            width = 1.0
+        self._width = width
+        inv = self._inv_width = 1.0 / width
+        # One below the first entry's bucket, so every pending entry lands
+        # in a *future* bucket and dequeue order stays structural.
+        cur_idx = self._cur_idx = int(lo * inv) - 1
+        far_t = self._far_t = (cur_idx + 1 + _FAR_SPAN) * width
+        buckets = self._buckets
+        bidx = self._bidx
+        far = self._far
+        for e in heap:
+            if e[0] >= far_t:
+                heappush(far, e)
+            else:
+                idx = int(e[0] * inv)
+                b = buckets.get(idx)
+                if b is None:
+                    buckets[idx] = [e]
+                    heappush(bidx, idx)
+                else:
+                    b.append(e)
+        heap.clear()                    # in place: run() holds this object
+        self._n_future = n
+        self._cal = True
+        self._upgrades += 1
+
+    def _downgrade(self) -> None:
+        """Calendar → heap: drain every structure back into ``_heap``."""
+        self._to_heap()
+        self._downgrades += 1
+        if self._downgrades >= _MAX_FALLBACKS and self._forced is None:
+            # The population keeps oscillating around the upgrade point:
+            # bucketing is losing money on migrations.  Lock heap mode.
+            self._no_cal = True
+            self._upgrade_at = sys.maxsize
+
+    def _to_heap(self) -> None:
+        heap = self._heap
+        cur = self._cur
+        if self._ptr < len(cur):
+            heap.extend(cur[self._ptr:])
+        for b in self._buckets.values():
+            heap.extend(b)
+        heap.extend(self._far)
+        heapify(heap)
+        cur.clear()                     # in place: run() holds this object
+        self._ptr = 0
+        self._buckets.clear()
+        self._bidx.clear()
+        self._far.clear()
+        self._far_t = _INF
+        self._n_future = 0
+        self._cal = False
+
+    # -- bucket advance ----------------------------------------------------
+    def _advance(self) -> None:
+        """Turn the calendar page: refill ``_cur`` with the next bucket.
+
+        Caller guarantees the current bucket is exhausted and
+        ``_n_future > 0``.  Due far-heap entries migrate into buckets
+        first, so the overflow heap can never hide an entry earlier than
+        the bucket being served.
+        """
+        far = self._far
+        bidx = self._bidx
+        buckets = self._buckets
+        width = self._width
+        inv = self._inv_width
+        cur = self._cur
+        if far:
+            t0 = far[0][0]
+            if t0 == _INF and not bidx:
+                # Only +inf entries remain.  Serve them as one final sorted
+                # bucket; while it is being served, push() insorts every
+                # new entry (finite, +inf, any priority) into it at exact
+                # rank, so order stays exact.
+                n = len(far)
+                far.sort()
+                cur[:] = far
+                far.clear()
+                self._ptr = 0
+                self._n_future -= n
+                self._refills += 1
+                self._refill_events += n
+                return
+            if t0 != _INF:
+                fidx = int(t0 * inv)
+                if not bidx or fidx <= bidx[0]:
+                    # The far head is due (at or before the earliest
+                    # bucket): migrate a _FAR_SPAN window of far entries
+                    # into real buckets before serving.
+                    limit_t = (fidx + 1 + _FAR_SPAN) * width
+                    while far:
+                        ft = far[0][0]
+                        if ft == _INF or ft >= limit_t:
+                            break
+                        e = heappop(far)
+                        idx = int(e[0] * inv)
+                        b = buckets.get(idx)
+                        if b is None:
+                            buckets[idx] = [e]
+                            heappush(bidx, idx)
+                        else:
+                            b.append(e)
+                    self._far_t = limit_t
+        nidx = heappop(bidx)
+        bucket = buckets.pop(nidx)
+        bucket.sort()
+        cur[:] = bucket                 # in place: run() holds this object
+        self._ptr = 0
+        self._cur_idx = nidx
+        far_t = (nidx + 1 + _FAR_SPAN) * width
+        if far_t > self._far_t:
+            self._far_t = far_t
+        n = len(bucket)
+        self._n_future -= n
+        self._refills += 1
+        self._refill_events += n
+        self._occ_refills += 1
+        self._occ_events += n
+        if self._occ_refills >= _RESIZE_EVERY:
+            self._maybe_resize()
+
+    def _maybe_resize(self) -> None:
+        """Re-tune the bucket width when refill occupancy leaves the band."""
+        avg = self._occ_events / self._occ_refills
+        self._occ_refills = 0
+        self._occ_events = 0
+        if avg > _OCC_HI:
+            self._rebuild(self._width * (_TARGET_OCC / avg))
+        elif avg < _OCC_LO:
+            self._rebuild(self._width * (_TARGET_OCC / max(avg, 0.5)))
+
+    def _rebuild(self, new_width: float) -> None:
+        """Re-place all future entries under ``new_width``.
+
+        The current bucket's *time boundary* is preserved: entries and
+        future pushes earlier than the old bucket's exclusive end keep
+        insorting into ``_cur`` (always rank-exact), so the resize cannot
+        reorder anything.
+        """
+        if not new_width > 0.0 or new_width == _INF:
+            return
+        boundary = (self._cur_idx + 1) * self._width
+        entries: list = []
+        for b in self._buckets.values():
+            entries.extend(b)
+        entries.extend(self._far)
+        self._buckets.clear()
+        self._bidx.clear()
+        self._far.clear()
+        self._width = new_width
+        inv = self._inv_width = 1.0 / new_width
+        # Smallest index whose bucket end covers the old boundary, so no
+        # re-placed (strictly later) entry can land at or below it.
+        cur_idx = self._cur_idx = int(boundary * inv)
+        far_t = self._far_t = (cur_idx + 1 + _FAR_SPAN) * new_width
+        buckets = self._buckets
+        bidx = self._bidx
+        far = self._far
+        cur = self._cur
+        n_future = 0
+        for e in entries:
+            t = e[0]
+            if t >= far_t:
+                heappush(far, e)
+                n_future += 1
+            else:
+                idx = int(t * inv)
+                if idx <= cur_idx:
+                    insort(cur, e, lo=self._ptr)
+                else:
+                    b = buckets.get(idx)
+                    if b is None:
+                        buckets[idx] = [e]
+                        heappush(bidx, idx)
+                    else:
+                        b.append(e)
+                    n_future += 1
+        self._n_future = n_future
+        self._resizes += 1
+
+    # -- cold-path dequeue / peek ----------------------------------------
+    def _pop_entry(self) -> tuple:
+        """Pop the minimum entry (cold path; ``run()`` inlines this).
+
+        The winner is min(now-lane head, bucket/heap head) — one tuple
+        comparison.  Every stored entry's time is >= the current clock and
+        every now-lane entry's time is <= it, so when the timed structures
+        are exhausted but future buckets remain, the page must be turned
+        *before* the now lane can be served (a +inf far entry may rank
+        before a +inf now-lane entry by seq).
+        """
+        nowq = self._nowq
+        nptr = self._nptr
+        have_now = nptr < len(nowq)
+        ptr = self._ptr
+        cur = self._cur
+        if ptr >= len(cur):
+            heap = self._heap
+            if heap:
+                if have_now and nowq[nptr] < heap[0]:
+                    entry = nowq[nptr]
+                    nowq[nptr] = None   # drop the ref: event pools check
+                    self._nptr = nptr + 1   # refcounts after dispatch
+                    return entry
+                return heappop(heap)
+            if self._n_future:
+                self._advance()
+                ptr = self._ptr
+            elif have_now:
+                entry = nowq[nptr]
+                nowq[nptr] = None
+                self._nptr = nptr + 1
+                return entry
+            else:
+                raise IndexError("pop from empty CalendarQueue")
+        if have_now and nowq[nptr] < cur[ptr]:
+            entry = nowq[nptr]
+            nowq[nptr] = None
+            self._nptr = nptr + 1
+            return entry
+        entry = cur[ptr]
+        cur[ptr] = None
+        self._ptr = ptr + 1
+        return entry
+
+    def peek_time(self) -> float:
+        """Time of the next entry, or +inf when empty (may turn the page)."""
+        if self._ptr < len(self._cur):
+            t = self._cur[self._ptr][0]
+        elif self._heap:
+            t = self._heap[0][0]
+        elif self._n_future:
+            self._advance()
+            t = self._cur[self._ptr][0]
+        else:
+            t = _INF
+        nptr = self._nptr
+        if nptr < len(self._nowq):
+            nt = self._nowq[nptr][0]
+            if nt < t:
+                return nt
+        return t
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        """Queue-discipline counters for the kernel self-profiler."""
+        refills = self._refills
+        return {
+            "mode": "cal" if self._cal else "heap",
+            "forced": self._forced or "auto",
+            "pending": len(self),
+            "now_pending": len(self._nowq) - self._nptr,
+            "width": float(self._width),
+            "bucket_count": len(self._buckets),
+            "far_pending": len(self._far),
+            "avg_bucket_occupancy": (
+                self._refill_events / refills if refills else 0.0),
+            "refills": refills,
+            "insorts": self._insorts,
+            "far_pushed": self._far_pushed,
+            "upgrades": self._upgrades,
+            "downgrades": self._downgrades,
+            "resizes": self._resizes,
+            "fallback_rate": (
+                self._downgrades / self._upgrades if self._upgrades else 0.0),
+            "heap_mode_locked": self._no_cal,
+        }

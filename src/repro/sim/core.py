@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel.
 
 A small, dependency-free kernel in the style of SimPy: an
-:class:`Environment` owns an event heap and a clock; *processes* are Python
+:class:`Environment` owns an event queue and a clock; *processes* are Python
 generators that ``yield`` events (most commonly :class:`Timeout`) and are
 resumed when those events fire.  The kernel is deterministic: events that
 fire at the same timestamp are processed in schedule order.
@@ -10,15 +10,25 @@ The whole reproduction (host LSM, device model, workload drivers, samplers)
 is built from processes scheduled on one Environment, which is what lets us
 report per-second time series equivalent to the paper's wall-clock
 measurements.
+
+Scheduling runs on a :class:`~repro.sim.calqueue.CalendarQueue`: a binary
+heap while the pending population is small, upgrading to O(1)-amortised
+calendar buckets for the timeout-dominated steady state (see calqueue.py
+for the structural order-exactness argument).  Hot event classes —
+:class:`Timeout`, bare :class:`Event`, and the internal process-resume
+event — are recycled through per-environment freelists, gated by a
+refcount check so pooling can never resurrect an object something still
+references.
 """
 
 from __future__ import annotations
 
-import heapq
 import sys
 from heapq import heappop, heappush
 from time import perf_counter_ns
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from .calqueue import _COMPACT_PTR, CalendarQueue
 
 __all__ = [
     "Environment",
@@ -28,6 +38,7 @@ __all__ = [
     "Interrupt",
     "AllOf",
     "AnyOf",
+    "MacroStats",
     "SimulationError",
     "KernelProfile",
     "install_kernel_profiler",
@@ -53,7 +64,7 @@ class Interrupt(Exception):
 
 # Event states
 _PENDING = 0
-_TRIGGERED = 1  # scheduled on the heap, not yet processed
+_TRIGGERED = 1  # scheduled on the queue, not yet processed
 _PROCESSED = 2
 
 
@@ -72,9 +83,9 @@ class Event:
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] = []
         # Fast slot: the single Process waiting on this event, when that
-        # process is the *only* waiter and the event is a Timeout.  run()
-        # resumes it inline, skipping the _resume trampoline frame; any
-        # further waiters go through the callbacks list as usual.
+        # process registered first and alone.  The dispatch loops resume it
+        # inline, skipping the _resume trampoline frame; any further
+        # waiters go through the callbacks list as usual.
         self._proc: Optional["Process"] = None
         self._value: Any = None
         self._ok: bool = True
@@ -108,7 +119,20 @@ class Event:
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        env._seq += 1
+        # succeed() always fires at the current time, so it lands on the
+        # CalendarQueue's now lane: a pre-sorted append (the clock never
+        # moves backwards, seq strictly increases) that skips the heap and
+        # its same-timestamp tuple-comparison walks entirely.  Inline
+        # mirror of CalendarQueue.push_now — succeed is hot enough
+        # (resource grants, ping-pong handoffs) to warrant it.
+        q = env._queue
+        nowq = q._nowq
+        nowq.append((env._now, 1, env._seq, self))
+        if q._nptr > _COMPACT_PTR:
+            del nowq[:q._nptr]
+            q._nptr = 0
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -165,11 +189,20 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         env._seq += 1
-        heappush(env._heap, (env._now + delay, 1, env._seq, self))
+        # Mirror of the CalendarQueue push seam (see calqueue.py).
+        q = env._queue
+        entry = (env._now + delay, 1, env._seq, self)
+        if q._cal:
+            q.push(entry)
+        else:
+            heap = q._heap
+            heappush(heap, entry)
+            if len(heap) > q._upgrade_at:
+                q._consider_upgrade()
 
 
 class _ProcessResume(Event):
-    """Internal event used to bootstrap / resume a process."""
+    """Internal event used to bootstrap / resume / interrupt a process."""
 
     __slots__ = ()
 
@@ -201,11 +234,11 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         # One reusable resume event bootstraps the process and is recycled
         # for every immediate resume (already-fired yield targets).  It is
-        # reusable whenever it is not sitting on the heap (_PROCESSED).
-        boot = _ProcessResume(env)
-        boot._ok = True
+        # reusable whenever it is not sitting on the queue (_PROCESSED).
+        ppool = env._presume_pool
+        boot = ppool.pop() if ppool else _ProcessResume(env)
         boot._state = _TRIGGERED
-        boot.callbacks.append(self._resume_cb)
+        boot._proc = self
         self._resume_ev = boot
         env._schedule(boot)
 
@@ -230,13 +263,15 @@ class Process(Event):
                 except ValueError:
                     pass
             self._target = None
-        interrupt_ev = _ProcessResume(self.env)
+        env = self.env
+        ppool = env._presume_pool
+        interrupt_ev = ppool.pop() if ppool else _ProcessResume(env)
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
         interrupt_ev._state = _TRIGGERED
-        interrupt_ev.callbacks.append(self._resume_cb)
-        self.env._schedule(interrupt_ev, priority=True)
+        interrupt_ev._proc = self
+        env._schedule(interrupt_ev, priority=True)
 
     # -- internal ------------------------------------------------------
     def _finish(self, ok: bool, value: Any) -> None:
@@ -249,13 +284,14 @@ class Process(Event):
 
     def _resume_processed(self, next_target: Event) -> None:
         """Wait on an already-fired event: resume again at this timestamp,
-        recycling this process's resume event when it is off-heap."""
+        recycling this process's resume event when it is off-queue."""
         env = self.env
         resume = self._resume_ev
         if resume._state != _PROCESSED:
             # Still scheduled (e.g. detached by an interrupt at this
             # timestamp): it cannot carry a second resume.
-            resume = _ProcessResume(env)
+            ppool = env._presume_pool
+            resume = ppool.pop() if ppool else _ProcessResume(env)
             self._resume_ev = resume
         else:
             resume._defused = False
@@ -265,14 +301,14 @@ class Process(Event):
             resume._defused = True
             next_target._defused = True
         resume._state = _TRIGGERED
-        resume.callbacks.append(self._resume_cb)
+        resume._proc = self
         env._schedule(resume)
         self._target = resume
 
     def _resume(self, event: Event) -> None:
-        # NOTE: run() inlines this method for the Timeout fast path (one
+        # NOTE: run() inlines this method for the fast-slot path (one
         # Python frame per event saved); behavioural changes here must be
-        # mirrored in both run() loop bodies.
+        # mirrored in the run() loop bodies.
         if self._state != _PENDING:  # e.g. interrupted after termination
             return
         env = self.env
@@ -304,15 +340,17 @@ class Process(Event):
             ) from None
         if state == _PROCESSED:
             self._resume_processed(next_target)
-        elif (type(next_target) is Timeout and next_target._proc is None
-                and not cbs):
-            # Sole waiter on a pending Timeout: take the fast slot.  No
-            # defusing needed — a Timeout can never fail.
+        elif next_target._proc is None and not cbs:
+            # First, sole waiter: take the fast slot.  Failable events are
+            # defused up front — the waiter receives any failure via
+            # generator.throw, so the kernel must not re-raise it at
+            # dispatch time.  (Timeouts can never fail; skipping the store
+            # keeps their recycle path cheap.)
+            if type(next_target) is not Timeout:
+                next_target._defused = True
             next_target._proc = self
             self._target = next_target
         else:
-            # A waiting process will receive any failure via generator.throw,
-            # so the kernel must not re-raise it at callback time.
             next_target._defused = True
             cbs.append(self._resume_cb)
             self._target = next_target
@@ -379,9 +417,41 @@ class AnyOf(_MultiEvent):
         self.succeed(self._results())
 
 
-# Upper bound on recycled Timeout instances kept per Environment.  Sized to
-# cover every concurrently-pending Timeout in real experiments (drivers +
-# samplers + pollers is tens, not hundreds) while bounding idle memory.
+class MacroStats:
+    """Coalescing counters for macro (channel-burst) device events.
+
+    Device layers that batch multiple page operations into one scheduled
+    kernel event — NAND channel bursts, chunked bulk-scan DMA — report
+    here: ``ops`` physical operations were carried by ``events`` scheduled
+    timeouts across ``bursts`` burst calls.  ``coalesce_factor``
+    (ops per scheduled event) is the macro-event payoff figure the kernel
+    self-profiler surfaces.
+    """
+
+    __slots__ = ("ops", "events", "bursts")
+
+    def __init__(self):
+        self.ops = 0
+        self.events = 0
+        self.bursts = 0
+
+    @property
+    def coalesce_factor(self) -> float:
+        return self.ops / self.events if self.events else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "ops": int(self.ops),
+            "events": int(self.events),
+            "bursts": int(self.bursts),
+            "coalesce_factor": float(self.coalesce_factor),
+        }
+
+
+# Upper bound on recycled instances kept per freelist per Environment.
+# Sized to cover every concurrently-pending hot event in real experiments
+# (drivers + samplers + pollers is tens, not hundreds) while bounding idle
+# memory.
 _TIMEOUT_POOL_CAP = 256
 
 
@@ -391,14 +461,16 @@ class Environment:
     # Kernel-hot attributes live in slots (faster loads/stores on the
     # per-event path); __dict__ stays available for extension layers that
     # hang state off the env (faults, tracer, telemetry, ...).
-    __slots__ = ("_now", "_heap", "_seq", "_timeout_pool",
-                 "_active_process", "__dict__")
+    __slots__ = ("_now", "_queue", "_seq", "_timeout_pool", "_event_pool",
+                 "_presume_pool", "_active_process", "__dict__")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._queue = CalendarQueue()
         self._seq = 0
         self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
+        self._presume_pool: list[_ProcessResume] = []
         self._active_process: Optional[Process] = None
         # Optional repro.faults.FaultRegistry; fault probes throughout the
         # stack check this slot and are no-ops while it is None.
@@ -420,6 +492,9 @@ class Environment:
         # the journaled loop while installed.  Purely passive — it never
         # schedules events — so journaled trajectories are bit-identical.
         self.journal = None
+        # Macro-event coalescing counters (always on: three int adds per
+        # burst, no per-op cost).
+        self.macro = MacroStats()
 
     @property
     def now(self) -> float:
@@ -434,7 +509,7 @@ class Environment:
         """Total events ever scheduled on this environment.
 
         Every scheduled event is eventually processed when ``run()`` drains
-        the heap, so this doubles as the processed-event count for
+        the queue, so this doubles as the processed-event count for
         events/sec reporting (``repro.perf``, bench baselines) and is
         stable across kernel-internal changes like event pooling.
         """
@@ -443,10 +518,27 @@ class Environment:
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
         self._seq += 1
-        # priority events (interrupts) sort before same-time ordinary events
-        heapq.heappush(
-            self._heap, (self._now + delay, 0 if priority else 1, self._seq, event)
-        )
+        q = self._queue
+        if delay == 0.0 and not priority:
+            # Fires at exactly the current time: now lane (process
+            # boot/finish, fail, immediate resumes).  See Event.succeed.
+            nowq = q._nowq
+            nowq.append((self._now, 1, self._seq, event))
+            if q._nptr > _COMPACT_PTR:
+                del nowq[:q._nptr]
+                q._nptr = 0
+            return
+        # priority events (interrupts) sort before same-time ordinary
+        # events; the (time, priority, seq) key ranks them ahead of the
+        # now lane's priority-1 entries at dequeue.
+        entry = (self._now + delay, 0 if priority else 1, self._seq, event)
+        if q._cal:
+            q.push(entry)
+        else:
+            heap = q._heap
+            heappush(heap, entry)
+            if len(heap) > q._upgrade_at:
+                q._consider_upgrade()
 
     def schedule_at(self, event: Event, when: float) -> None:
         """Schedule a pre-built pending event to fire at absolute time."""
@@ -457,10 +549,27 @@ class Environment:
         event._ok = True
         event._state = _TRIGGERED
         self._seq += 1
-        heapq.heappush(self._heap, (when, 1, self._seq, event))
+        q = self._queue
+        entry = (when, 1, self._seq, event)
+        if q._cal:
+            q.push(entry)
+        else:
+            heap = q._heap
+            heappush(heap, entry)
+            if len(heap) > q._upgrade_at:
+                q._consider_upgrade()
 
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
+        """Create (or recycle) a bare :class:`Event`.
+
+        Recycled instances are reset at recycle time (see the dispatch
+        loops) and only ever enter the freelist when nothing else
+        references them, so reuse is indistinguishable from construction.
+        """
+        pool = self._event_pool
+        if pool:
+            return pool.pop()
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -479,13 +588,23 @@ class Environment:
             ev = pool.pop()
             ev.delay = delay
             ev._value = value
-            # _ok is not reset: a Timeout can never fail, so it stays True
-            # for the object's whole lifetime, recycled or not.
+            # Neither _ok nor _defused is reset: a Timeout can never fail,
+            # so _ok stays True for the object's whole lifetime and
+            # _defused is never consulted (the failure re-raise is the
+            # only reader and requires _ok False).
             ev._state = _TRIGGERED
-            ev._defused = False
             seq = self._seq + 1
             self._seq = seq
-            heappush(self._heap, (self._now + delay, 1, seq, ev))
+            # Mirror of the CalendarQueue push seam (see calqueue.py).
+            q = self._queue
+            entry = (self._now + delay, 1, seq, ev)
+            if q._cal:
+                q.push(entry)
+            else:
+                heap = q._heap
+                heappush(heap, entry)
+                if len(heap) > q._upgrade_at:
+                    q._consider_upgrade()
             return ev
         return Timeout(self, delay, value)
 
@@ -499,11 +618,40 @@ class Environment:
         return AnyOf(self, events)
 
     # -- execution ----------------------------------------------------------
+    def _recycle(self, event: Event) -> None:
+        """Return a processed hot-class event to its freelist when nothing
+        else references it (cold-path mirror of the inline recycle blocks
+        in :meth:`run`)."""
+        # Refcount 3 == caller's local + our parameter + getrefcount's
+        # argument: nothing outside this call chain references the event.
+        cls = type(event)
+        if cls is Timeout:
+            if (len(self._timeout_pool) < _TIMEOUT_POOL_CAP
+                    and sys.getrefcount(event) == 3):
+                self._timeout_pool.append(event)
+        elif cls is Event:
+            if (len(self._event_pool) < _TIMEOUT_POOL_CAP
+                    and sys.getrefcount(event) == 3):
+                event._value = None
+                event._state = _PENDING
+                event._ok = True
+                event._defused = False
+                self._event_pool.append(event)
+        elif cls is _ProcessResume:
+            if (len(self._presume_pool) < _TIMEOUT_POOL_CAP
+                    and sys.getrefcount(event) == 3):
+                event._value = None
+                event._state = _PENDING
+                event._ok = True
+                event._defused = False
+                self._presume_pool.append(event)
+
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        q = self._queue
+        if not len(q):
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = q._pop_entry()
         self._now = when
         jr = self.journal
         if jr is not None:
@@ -521,14 +669,11 @@ class Environment:
                         break
             jr.record_event(when, jname, type(event).__name__)
         event._run_callbacks()
-        pool = self._timeout_pool
-        if (type(event) is Timeout and len(pool) < _TIMEOUT_POOL_CAP
-                and sys.getrefcount(event) == 2):  # local var + getrefcount arg
-            pool.append(event)
+        self._recycle(event)
 
     def peek(self) -> float:
         """Time of the next event, or +inf if the queue is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._queue.peek_time()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -539,13 +684,16 @@ class Environment:
         The loop inlines :meth:`step` and the event-dispatch body
         (``Event._run_callbacks``) with every per-step lookup cached in
         locals — this is the hottest code in the repository, every
-        simulated second of every experiment passes through it.  The two
-        loop variants below must stay semantically in lockstep with
-        ``step()``; determinism (same-timestamp schedule order, interrupt
-        priority) lives entirely in the heap key, which they share.
+        simulated second of every experiment passes through it.  The
+        dequeue side reads the CalendarQueue's current bucket and heap
+        directly (the queue mutates those list objects only in place, see
+        calqueue.py); determinism (same-timestamp schedule order,
+        interrupt priority) lives entirely in the ``(time, priority,
+        seq)`` entry key, which every mode shares.  The loop variants
+        below must stay semantically in lockstep with ``step()``.
 
-        Processed Timeouts that nothing else references (refcount check)
-        are recycled into :meth:`timeout`'s freelist.
+        Processed hot-class events that nothing else references (refcount
+        check) are recycled into the per-class freelists.
         """
         if self.kernel_profiler is not None:
             return self._run_profiled(until)
@@ -560,160 +708,297 @@ class Environment:
             if deadline < self._now:
                 raise ValueError(f"until {deadline} is in the past (now={self._now})")
 
-        # Per-step lookups hoisted out of the loop.
-        heap = self._heap
+        # Per-step lookups hoisted out of the loop.  cur/heap are the
+        # CalendarQueue's storage lists; the queue only ever mutates them
+        # in place, so the local bindings stay valid across mode switches.
+        q = self._queue
+        cur = q._cur
+        heap = q._heap
+        nowq = q._nowq
         pop = heappop
         pool = self._timeout_pool
+        epool = self._event_pool
+        ppool = self._presume_pool
         pool_cap = _TIMEOUT_POOL_CAP
         getrefcount = sys.getrefcount
         PENDING = _PENDING
         PROCESSED = _PROCESSED
         timeout_cls = Timeout
-
-        stopped: list = []
-        if stop_event is not None and stop_event._state != _PROCESSED:
-            # Cheaper than re-reading stop_event._state every iteration:
-            # one sentinel callback flips a local flag when it fires.
-            stop_event.callbacks.append(stopped.append)
-
-        # Two loop variants (no-deadline / deadline) so the per-step body
-        # carries only the checks its mode needs.  Dispatch is identical in
-        # both and splits by event type: Timeouts take the fast path — the
-        # waiting process (fast slot ``_proc``) is resumed *inline*, saving
-        # the Process._resume trampoline frame, and the dead Timeout is
-        # recycled into the freelist; everything else goes through the
-        # generic callback dispatch.  The inline block mirrors
-        # Process._resume — keep the two in lockstep.
-        if deadline == float("inf"):
-            while heap:
-                if stopped and stop_event is not None:
-                    break
-                when, _prio, _seq, event = pop(heap)
-                self._now = when
-                if type(event) is timeout_cls:
-                    event._state = PROCESSED
-                    proc = event._proc
-                    if proc is not None:
-                        event._proc = None
-                        if proc._state == PENDING:
-                            self._active_process = proc
-                            try:
-                                nt = proc._send(event._value)
-                            except StopIteration as stop:
-                                self._active_process = None
-                                proc._finish(True, stop.value)
-                            except BaseException as exc:
-                                self._active_process = None
-                                proc._finish(False, exc)
-                            else:
-                                self._active_process = None
-                                try:
-                                    nstate = nt._state
-                                    ncbs = nt.callbacks
-                                except AttributeError:
-                                    raise SimulationError(
-                                        f"process {proc.name!r} yielded "
-                                        f"{nt!r}, expected an Event"
-                                    ) from None
-                                if nstate == PROCESSED:
-                                    proc._resume_processed(nt)
-                                elif (type(nt) is timeout_cls
-                                        and nt._proc is None and not ncbs):
-                                    nt._proc = proc
-                                    proc._target = nt
-                                else:
-                                    nt._defused = True
-                                    ncbs.append(proc._resume_cb)
-                                    proc._target = nt
-                    callbacks = event.callbacks
-                    if callbacks:
-                        event.callbacks = []
-                        for cb in callbacks:
-                            cb(event)
-                    # No failure check: a Timeout can never fail.
-                    if (len(pool) < pool_cap
-                            and getrefcount(event) == 2):  # local + arg only
-                        pool.append(event)
-                else:
-                    event._state = PROCESSED
-                    callbacks = event.callbacks
-                    if callbacks:
-                        event.callbacks = []
-                        for cb in callbacks:
-                            cb(event)
-                    if not event._ok and not event._defused:
-                        # Nobody handled the failure: surface it.
-                        raise event._value
-        else:
-            while heap:
-                # SimPy semantics: the deadline is exclusive — events
-                # scheduled exactly at `until` are left unprocessed.
-                if heap[0][0] >= deadline:
-                    self._now = deadline
-                    return None
-                when, _prio, _seq, event = pop(heap)
-                self._now = when
-                if type(event) is timeout_cls:
-                    event._state = PROCESSED
-                    proc = event._proc
-                    if proc is not None:
-                        event._proc = None
-                        if proc._state == PENDING:
-                            self._active_process = proc
-                            try:
-                                nt = proc._send(event._value)
-                            except StopIteration as stop:
-                                self._active_process = None
-                                proc._finish(True, stop.value)
-                            except BaseException as exc:
-                                self._active_process = None
-                                proc._finish(False, exc)
-                            else:
-                                self._active_process = None
-                                try:
-                                    nstate = nt._state
-                                    ncbs = nt.callbacks
-                                except AttributeError:
-                                    raise SimulationError(
-                                        f"process {proc.name!r} yielded "
-                                        f"{nt!r}, expected an Event"
-                                    ) from None
-                                if nstate == PROCESSED:
-                                    proc._resume_processed(nt)
-                                elif (type(nt) is timeout_cls
-                                        and nt._proc is None and not ncbs):
-                                    nt._proc = proc
-                                    proc._target = nt
-                                else:
-                                    nt._defused = True
-                                    ncbs.append(proc._resume_cb)
-                                    proc._target = nt
-                    callbacks = event.callbacks
-                    if callbacks:
-                        event.callbacks = []
-                        for cb in callbacks:
-                            cb(event)
-                    # No failure check: a Timeout can never fail.
-                    if (len(pool) < pool_cap
-                            and getrefcount(event) == 2):  # local + arg only
-                        pool.append(event)
-                else:
-                    event._state = PROCESSED
-                    callbacks = event.callbacks
-                    if callbacks:
-                        event.callbacks = []
-                        for cb in callbacks:
-                            cb(event)
-                    if not event._ok and not event._defused:
-                        # Nobody handled the failure: surface it.
-                        raise event._value
+        event_cls = Event
+        presume_cls = _ProcessResume
 
         if stop_event is not None:
+            # Stop-event runs (rare: drain-to-signal in tests and chaos
+            # harnesses) use the compact reference dispatch; the inlined
+            # variants below cover the perf-critical modes.
+            stopped: list = []
+            if stop_event._state != _PROCESSED:
+                # Cheaper than re-reading stop_event._state every
+                # iteration: one sentinel callback flips a local flag.
+                stop_event.callbacks.append(stopped.append)
+            while len(q):
+                if stopped:
+                    break
+                when, _prio, _seq, event = q._pop_entry()
+                self._now = when
+                event._run_callbacks()
+                self._recycle(event)
             if stop_event._state != _PROCESSED:
                 raise SimulationError("run(until=event): event never fired")
             if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value
+
+        # Two inlined loop variants (drain / deadline) so the per-step body
+        # carries only the checks its mode needs.  Dispatch is identical in
+        # both: the fast-slot waiter (``_proc``) is resumed *inline*,
+        # saving the Process._resume trampoline frame — the inline block
+        # mirrors Process._resume, keep the two in lockstep — then
+        # callbacks run, then the dead event is recycled if unreferenced.
+        # Events are unpacked straight out of the bucket/heap (no entry
+        # local survives dispatch): a live entry tuple would hold a hidden
+        # reference and silently defeat every refcount-gated freelist.
+        # The dequeue head picks min(now-lane head, bucket/heap head) with
+        # at most one tuple comparison; when only the now lane is occupied
+        # (signalling steady state) pops are straight list indexing with
+        # zero comparisons.  Future buckets must be paged in before the
+        # now lane may be served alone — a +inf far entry can rank before
+        # a +inf now-lane entry by seq (see CalendarQueue._pop_entry).
+        if deadline == float("inf"):
+            while True:
+                nptr = q._nptr
+                ptr = q._ptr
+                if ptr < len(cur):
+                    if nptr < len(nowq) and nowq[nptr] < cur[ptr]:
+                        when, _prio, _seq, event = nowq[nptr]
+                        nowq[nptr] = None
+                        q._nptr = nptr + 1
+                    else:
+                        when, _prio, _seq, event = cur[ptr]
+                        cur[ptr] = None
+                        q._ptr = ptr + 1
+                elif heap:
+                    if nptr < len(nowq) and nowq[nptr] < heap[0]:
+                        when, _prio, _seq, event = nowq[nptr]
+                        nowq[nptr] = None
+                        q._nptr = nptr + 1
+                    else:
+                        when, _prio, _seq, event = pop(heap)
+                elif q._n_future:
+                    q._advance()
+                    continue
+                elif nptr < len(nowq):
+                    when, _prio, _seq, event = nowq[nptr]
+                    nowq[nptr] = None
+                    q._nptr = nptr + 1
+                else:
+                    break
+                self._now = when
+                proc = event._proc
+                if proc is not None:
+                    event._state = PROCESSED
+                    event._proc = None
+                    if proc._state == PENDING:
+                        self._active_process = proc
+                        try:
+                            if event._ok:
+                                nt = proc._send(event._value)
+                            else:
+                                nt = proc._generator.throw(event._value)
+                        except StopIteration as stop:
+                            self._active_process = None
+                            proc._finish(True, stop.value)
+                        except BaseException as exc:
+                            self._active_process = None
+                            proc._finish(False, exc)
+                        else:
+                            self._active_process = None
+                            try:
+                                nstate = nt._state
+                                ncbs = nt.callbacks
+                            except AttributeError:
+                                raise SimulationError(
+                                    f"process {proc.name!r} yielded "
+                                    f"{nt!r}, expected an Event"
+                                ) from None
+                            if nstate == PROCESSED:
+                                proc._resume_processed(nt)
+                            elif nt._proc is None and not ncbs:
+                                if type(nt) is not timeout_cls:
+                                    nt._defused = True
+                                nt._proc = proc
+                                proc._target = nt
+                            else:
+                                nt._defused = True
+                                ncbs.append(proc._resume_cb)
+                                proc._target = nt
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    # No failure check: fast-slot registration defuses
+                    # every failable event class up front.
+                else:
+                    event._state = PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    if not event._ok and not event._defused:
+                        # Nobody handled the failure: surface it.
+                        raise event._value
+                cls = type(event)
+                if cls is timeout_cls:
+                    if (len(pool) < pool_cap
+                            and getrefcount(event) == 2):  # local + arg only
+                        pool.append(event)
+                elif cls is event_cls:
+                    if (len(epool) < pool_cap
+                            and getrefcount(event) == 2):
+                        event._value = None
+                        event._state = 0
+                        event._ok = True
+                        event._defused = False
+                        epool.append(event)
+                elif cls is presume_cls:
+                    if (len(ppool) < pool_cap
+                            and getrefcount(event) == 2):
+                        event._value = None
+                        event._state = 0
+                        event._ok = True
+                        event._defused = False
+                        ppool.append(event)
+        else:
+            while True:
+                # SimPy semantics: the deadline is exclusive — events
+                # scheduled exactly at `until` are left unprocessed.
+                # Peek-commit per lane: the winning head is checked
+                # against the deadline before it is consumed.
+                nptr = q._nptr
+                ptr = q._ptr
+                if ptr < len(cur):
+                    if nptr < len(nowq) and nowq[nptr] < cur[ptr]:
+                        entry = nowq[nptr]
+                        if entry[0] >= deadline:
+                            self._now = deadline
+                            return None
+                        nowq[nptr] = None
+                        q._nptr = nptr + 1
+                    else:
+                        entry = cur[ptr]
+                        if entry[0] >= deadline:
+                            self._now = deadline
+                            return None
+                        cur[ptr] = None
+                        q._ptr = ptr + 1
+                elif heap:
+                    if nptr < len(nowq) and nowq[nptr] < heap[0]:
+                        entry = nowq[nptr]
+                        if entry[0] >= deadline:
+                            self._now = deadline
+                            return None
+                        nowq[nptr] = None
+                        q._nptr = nptr + 1
+                    else:
+                        entry = heap[0]
+                        if entry[0] >= deadline:
+                            self._now = deadline
+                            return None
+                        pop(heap)
+                elif q._n_future:
+                    q._advance()
+                    continue
+                elif nptr < len(nowq):
+                    entry = nowq[nptr]
+                    if entry[0] >= deadline:
+                        self._now = deadline
+                        return None
+                    nowq[nptr] = None
+                    q._nptr = nptr + 1
+                else:
+                    break
+                when, _prio, _seq, event = entry
+                entry = None    # drop the tuple ref: freelists check refcounts
+                self._now = when
+                proc = event._proc
+                if proc is not None:
+                    event._state = PROCESSED
+                    event._proc = None
+                    if proc._state == PENDING:
+                        self._active_process = proc
+                        try:
+                            if event._ok:
+                                nt = proc._send(event._value)
+                            else:
+                                nt = proc._generator.throw(event._value)
+                        except StopIteration as stop:
+                            self._active_process = None
+                            proc._finish(True, stop.value)
+                        except BaseException as exc:
+                            self._active_process = None
+                            proc._finish(False, exc)
+                        else:
+                            self._active_process = None
+                            try:
+                                nstate = nt._state
+                                ncbs = nt.callbacks
+                            except AttributeError:
+                                raise SimulationError(
+                                    f"process {proc.name!r} yielded "
+                                    f"{nt!r}, expected an Event"
+                                ) from None
+                            if nstate == PROCESSED:
+                                proc._resume_processed(nt)
+                            elif nt._proc is None and not ncbs:
+                                if type(nt) is not timeout_cls:
+                                    nt._defused = True
+                                nt._proc = proc
+                                proc._target = nt
+                            else:
+                                nt._defused = True
+                                ncbs.append(proc._resume_cb)
+                                proc._target = nt
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    # No failure check: fast-slot registration defuses
+                    # every failable event class up front.
+                else:
+                    event._state = PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    if not event._ok and not event._defused:
+                        # Nobody handled the failure: surface it.
+                        raise event._value
+                cls = type(event)
+                if cls is timeout_cls:
+                    if (len(pool) < pool_cap
+                            and getrefcount(event) == 2):  # local + arg only
+                        pool.append(event)
+                elif cls is event_cls:
+                    if (len(epool) < pool_cap
+                            and getrefcount(event) == 2):
+                        event._value = None
+                        event._state = 0
+                        event._ok = True
+                        event._defused = False
+                        epool.append(event)
+                elif cls is presume_cls:
+                    if (len(ppool) < pool_cap
+                            and getrefcount(event) == 2):
+                        event._value = None
+                        event._state = 0
+                        event._ok = True
+                        event._defused = False
+                        ppool.append(event)
+
         if deadline != float("inf") and self._now < deadline:
             self._now = deadline
         return None
@@ -723,9 +1008,10 @@ class Environment:
         per-class counters and coarse wall-clock sampling.
 
         Semantically in lockstep with :meth:`run`'s inlined loops — same
-        heap key, same ``_run_callbacks`` behaviour (the inlined Timeout
-        fast path mirrors it by construction), same freelist recycle rule —
-        so profiled runs follow the identical trajectory, just slower.
+        queue order, same ``_run_callbacks`` behaviour (the inlined
+        fast-slot path mirrors it by construction), same freelist recycle
+        rule — so profiled runs follow the identical trajectory, just
+        slower.
         """
         prof = self.kernel_profiler
         stop_event: Optional[Event] = None
@@ -738,12 +1024,7 @@ class Environment:
                 raise ValueError(
                     f"until {deadline} is in the past (now={self._now})")
 
-        heap = self._heap
-        pop = heappop
-        pool = self._timeout_pool
-        pool_cap = _TIMEOUT_POOL_CAP
-        getrefcount = sys.getrefcount
-        timeout_cls = Timeout
+        q = self._queue
 
         stopped: list = []
         if stop_event is not None and stop_event._state != _PROCESSED:
@@ -757,13 +1038,13 @@ class Environment:
         jr = self.journal  # profiled runs can journal too
         wall_t0 = perf_counter_ns()
         try:
-            while heap:
+            while len(q):
                 if stopped and stop_event is not None:
                     break
-                if heap[0][0] >= deadline:
+                if q.peek_time() >= deadline:
                     self._now = deadline
                     return None
-                when, _prio, _seq, event = pop(heap)
+                when, _prio, _seq, event = q._pop_entry()
                 self._now = when
                 prof.heap_pops += 1
                 cls = type(event).__name__
@@ -773,6 +1054,13 @@ class Environment:
                 if proc is not None:
                     jname = name = proc.name
                     resumes[name] = resumes.get(name, 0) + 1
+                    for cb in event.callbacks:
+                        # Further process waiters queue behind the fast
+                        # slot; count their resumes too.
+                        owner = getattr(cb, "__self__", None)
+                        if type(owner) is Process:
+                            name = owner.name
+                            resumes[name] = resumes.get(name, 0) + 1
                 else:
                     for cb in event.callbacks:
                         owner = getattr(cb, "__self__", None)
@@ -793,9 +1081,11 @@ class Environment:
                     sampled_n[cls] = sampled_n.get(cls, 0) + 1
                 else:
                     event._run_callbacks()
-                if (type(event) is timeout_cls and len(pool) < pool_cap
-                        and getrefcount(event) == 2):  # local var + arg only
-                    pool.append(event)
+                npooled = (len(self._timeout_pool) + len(self._event_pool)
+                           + len(self._presume_pool))
+                self._recycle(event)
+                if (len(self._timeout_pool) + len(self._event_pool)
+                        + len(self._presume_pool)) > npooled:
                     prof.pool_recycled += 1
         finally:
             prof.wall_ns += perf_counter_ns() - wall_t0
@@ -816,11 +1106,11 @@ class Environment:
         the popped event crosses the next boundary.
 
         Semantically in lockstep with :meth:`run`'s inlined loops (same
-        heap key, ``_run_callbacks`` dispatch, same freelist recycle rule);
-        the journal is write-only side state, so journaled runs follow the
-        identical trajectory.  The checkpoint fires *before* the boundary-
-        crossing event dispatches, so the digest captures layer state as of
-        the boundary itself.
+        queue order, ``_run_callbacks`` dispatch, same freelist recycle
+        rule); the journal is write-only side state, so journaled runs
+        follow the identical trajectory.  The checkpoint fires *before*
+        the boundary-crossing event dispatches, so the digest captures
+        layer state as of the boundary itself.
         """
         jr = self.journal
         stop_event: Optional[Event] = None
@@ -833,12 +1123,7 @@ class Environment:
                 raise ValueError(
                     f"until {deadline} is in the past (now={self._now})")
 
-        heap = self._heap
-        pop = heappop
-        pool = self._timeout_pool
-        pool_cap = _TIMEOUT_POOL_CAP
-        getrefcount = sys.getrefcount
-        timeout_cls = Timeout
+        q = self._queue
         process_cls = Process
         record = jr.record_event
 
@@ -846,13 +1131,13 @@ class Environment:
         if stop_event is not None and stop_event._state != _PROCESSED:
             stop_event.callbacks.append(stopped.append)
 
-        while heap:
+        while len(q):
             if stopped and stop_event is not None:
                 break
-            if heap[0][0] >= deadline:
+            if q.peek_time() >= deadline:
                 self._now = deadline
                 return None
-            when, _prio, _seq, event = pop(heap)
+            when, _prio, _seq, event = q._pop_entry()
             self._now = when
             if when >= jr._next_ckpt:
                 jr._checkpoint(when)
@@ -868,9 +1153,7 @@ class Environment:
                         break
             record(when, jname, type(event).__name__)
             event._run_callbacks()
-            if (type(event) is timeout_cls and len(pool) < pool_cap
-                    and getrefcount(event) == 2):  # local var + arg only
-                pool.append(event)
+            self._recycle(event)
 
         if stop_event is not None:
             if stop_event._state != _PROCESSED:
@@ -894,6 +1177,9 @@ class KernelProfile:
 
     Everything here is wall-clock instrumentation — the simulated
     trajectory of a profiled run is bit-identical to an unprofiled one.
+    ``to_dict`` additionally snapshots the scheduler's queue-discipline
+    stats (mode, bucket occupancy, fallback rate) and the macro-event
+    coalescing counters.
     """
 
     def __init__(self, sample_every: int = 16):
@@ -915,8 +1201,8 @@ class KernelProfile:
 
     @property
     def heap_pushes(self) -> int:
-        """Every ``_seq`` increment pairs with exactly one heappush (in
-        ``_schedule``, ``schedule_at``, ``timeout()`` and
+        """Every ``_seq`` increment pairs with exactly one queue push (in
+        ``_schedule``, ``schedule_at``, ``timeout()``, ``succeed()`` and
         ``Timeout.__init__``), so the push count is the ``_seq`` delta."""
         if self._env is None:
             return 0
@@ -938,6 +1224,7 @@ class KernelProfile:
         return out
 
     def to_dict(self) -> dict:
+        env = self._env
         return {
             "heap_pushes": int(self.heap_pushes),
             "heap_pops": int(self.heap_pops),
@@ -956,6 +1243,8 @@ class KernelProfile:
             "estimated_wall_ns_by_class": {
                 k: float(v)
                 for k, v in self.estimated_wall_ns_by_class().items()},
+            "queue": env._queue.stats() if env is not None else {},
+            "macro": env.macro.to_dict() if env is not None else {},
         }
 
 

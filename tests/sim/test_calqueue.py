@@ -1,0 +1,243 @@
+"""CalendarQueue unit tests: ordering, mode transitions, the now lane.
+
+The queue's contract is a *total order* over ``(time, priority, seq)``
+identical to a binary heap's, regardless of which internal structure an
+entry lands in (current bucket, future bucket, far-future overflow heap,
+or the now lane).  These tests drive the structures directly through the
+same push seam the kernel inlines; the hypothesis property test in
+``tests/prop/test_scheduler_order.py`` fuzzes the same contract.
+"""
+
+from heapq import heappush
+
+import pytest
+
+from repro.sim.calqueue import (
+    _FAR_SPAN,
+    _MAX_FALLBACKS,
+    _RESIZE_EVERY,
+    CalendarQueue,
+)
+
+INF = float("inf")
+
+
+def seam_push(q: CalendarQueue, entry: tuple) -> None:
+    """The kernel's inlined push seam (see Environment._schedule)."""
+    if q._cal:
+        q.push(entry)
+    else:
+        heappush(q._heap, entry)
+        if len(q._heap) > q._upgrade_at:
+            q._consider_upgrade()
+
+
+def drain(q: CalendarQueue) -> list:
+    out = []
+    while len(q):
+        out.append(q._pop_entry())
+    return out
+
+
+def entries(seq_times, prio=1):
+    return [(t, prio, i, f"e{i}") for i, t in enumerate(seq_times)]
+
+
+# -- heap mode ---------------------------------------------------------------
+
+def test_heap_mode_orders_by_time_priority_seq():
+    q = CalendarQueue(force="heap")
+    es = [(5.0, 1, 0, "a"), (1.0, 1, 1, "b"), (1.0, 0, 2, "c"),
+          (1.0, 1, 3, "d"), (INF, 1, 4, "e")]
+    for e in es:
+        seam_push(q, e)
+    assert drain(q) == sorted(es)
+    assert q.stats()["mode"] == "heap"
+
+
+def test_forced_heap_never_upgrades():
+    q = CalendarQueue(force="heap")
+    for e in entries(float(i % 37) for i in range(512)):
+        seam_push(q, e)
+    assert not q._cal
+    assert q.stats()["upgrades"] == 0
+
+
+# -- calendar mode -----------------------------------------------------------
+
+def test_forced_cal_upgrades_and_preserves_total_order():
+    q = CalendarQueue(force="cal")
+    es = entries((i * 0.37) % 100.0 for i in range(2000))
+    for e in es:
+        seam_push(q, e)
+    assert q._cal
+    assert q.stats()["upgrades"] == 1
+    assert drain(q) == sorted(es)
+
+
+def test_far_future_entries_route_through_overflow_heap():
+    q = CalendarQueue(force="cal")
+    near = entries(float(i % 50) for i in range(200))
+    for e in near:
+        seam_push(q, e)
+    assert q._cal
+    # Far beyond the calendar span: must land in the overflow heap, not
+    # materialise thousands of empty pages.
+    far_t = (q._cur_idx + 1 + _FAR_SPAN) * q._width
+    far = [(far_t * 4 + i, 1, 10_000 + i, f"far{i}") for i in range(50)]
+    for e in far:
+        seam_push(q, e)
+    assert q.stats()["far_pending"] == 50
+    assert drain(q) == sorted(near + far)
+
+
+def test_infinity_entries_serve_last_in_seq_order():
+    q = CalendarQueue(force="cal")
+    es = entries([3.0, 1.0, INF, 2.0, INF, INF])
+    for e in es:
+        seam_push(q, e)
+    assert drain(q) == sorted(es)
+
+
+def test_all_infinite_heap_refuses_upgrade():
+    # Width cannot be derived from an all-inf population; the queue must
+    # stay in heap mode rather than divide by a zero span.
+    q = CalendarQueue(force="cal")
+    es = [(INF, 1, i, f"e{i}") for i in range(8)]
+    for e in es:
+        seam_push(q, e)
+    assert not q._cal
+    assert drain(q) == sorted(es)
+
+
+def test_resize_retunes_width_without_reordering():
+    q = CalendarQueue(force="cal")
+    # Tight cluster first so the derived width is tiny, then a long tail
+    # of sparse entries: refill occupancy collapses below the band and a
+    # resize must trigger — with the full order still exact.
+    es = entries([i * 1e-4 for i in range(64)]
+                 + [10.0 + i * 3.0 for i in range(3 * _RESIZE_EVERY)])
+    for e in es:
+        seam_push(q, e)
+    assert drain(q) == sorted(es)
+    assert q.stats()["resizes"] >= 1
+
+
+def test_auto_mode_locks_heap_after_repeated_fallbacks():
+    q = CalendarQueue()
+    assert q._forced is None
+    for _ in range(_MAX_FALLBACKS):
+        q._cal = True          # simulate an upgrade the population undoes
+        q._downgrade()
+    assert q._no_cal
+    assert q.stats()["heap_mode_locked"]
+    assert q.stats()["fallback_rate"] == 0.0 or q.stats()["downgrades"] >= 1
+    # Locked: even a huge population never upgrades again.
+    for e in entries(float(i % 997) for i in range(100)):
+        seam_push(q, e)
+    assert not q._cal
+
+
+# -- the now lane ------------------------------------------------------------
+
+def test_now_lane_interleaves_with_timed_entries():
+    q = CalendarQueue(force="heap")
+    seam_push(q, (0.0, 1, 0, "timed0"))
+    seam_push(q, (1.0, 1, 1, "timed1"))
+    q.push_now((0.0, 1, 2, "now2"))
+    q.push_now((0.0, 1, 3, "now3"))
+    seam_push(q, (0.0, 0, 4, "interrupt"))   # priority 0 beats the lane
+    assert [e[3] for e in drain(q)] == [
+        "interrupt", "timed0", "now2", "now3", "timed1"]
+
+
+def test_now_lane_alone_pops_in_fifo_order():
+    q = CalendarQueue()
+    for i in range(16):
+        q.push_now((0.0, 1, i, f"n{i}"))
+    assert len(q) == 16
+    assert [e[2] for e in drain(q)] == list(range(16))
+
+
+def test_now_lane_defers_to_earlier_seq_infinite_far_entry():
+    # The documented +inf edge: timed structures exhausted, a +inf entry
+    # waits in the far heap with a *smaller* seq than a +inf now-lane
+    # entry.  The page must turn before the lane is served.
+    q = CalendarQueue(force="cal")
+    for e in entries([1.0, 2.0, 3.0] * 4):
+        seam_push(q, e)
+    assert q._cal
+    seam_push(q, (INF, 1, 100, "far-first"))
+    drained = []
+    while len(q) > 1:
+        drained.append(q._pop_entry())
+    q.push_now((INF, 1, 200, "now-second"))
+    assert [e[3] for e in drain(q)] == ["far-first", "now-second"]
+
+
+def test_now_lane_survives_mode_transitions():
+    q = CalendarQueue(force="cal")
+    q.push_now((0.0, 1, 0, "n0"))
+    es = entries(((i * 0.11) % 40.0 for i in range(1500)), prio=1)
+    timed = [(t, p, s + 1, v) for t, p, s, v in es]
+    for e in timed:
+        seam_push(q, e)          # triggers the heap->cal migration
+    assert q._cal
+    assert q.stats()["now_pending"] == 1
+    out = drain(q)
+    assert out == sorted(timed + [(0.0, 1, 0, "n0")])
+
+
+def test_peek_time_agrees_with_pop_everywhere():
+    q = CalendarQueue(force="cal")
+    es = entries((i * 1.7) % 23.0 for i in range(500))
+    for e in es:
+        seam_push(q, e)
+    q.push_now((0.0, 1, 10_000, "now"))
+    while len(q):
+        t = q.peek_time()
+        e = q._pop_entry()
+        assert e[0] == t
+    assert q.peek_time() == INF
+
+
+def test_len_counts_every_structure():
+    q = CalendarQueue(force="cal")
+    for e in entries(float(i) for i in range(300)):
+        seam_push(q, e)
+    q.push_now((0.0, 1, 1000, "n"))
+    assert len(q) == 301
+    q._pop_entry()
+    assert len(q) == 300
+
+
+def test_stats_reports_queue_discipline_keys():
+    q = CalendarQueue(force="cal")
+    for e in entries(float(i % 10) for i in range(100)):
+        seam_push(q, e)
+    s = q.stats()
+    for key in ("mode", "forced", "pending", "now_pending", "width",
+                "bucket_count", "far_pending", "avg_bucket_occupancy",
+                "refills", "insorts", "far_pushed", "upgrades",
+                "downgrades", "resizes", "fallback_rate",
+                "heap_mode_locked"):
+        assert key in s
+    assert s["mode"] == "cal"
+    assert s["forced"] == "cal"
+    assert s["pending"] == 100
+
+
+def test_pop_from_empty_raises_indexerror():
+    q = CalendarQueue()
+    with pytest.raises(IndexError):
+        q._pop_entry()
+
+
+def test_repro_sched_env_var_controls_mode(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHED", "heap")
+    assert CalendarQueue()._forced == "heap"
+    monkeypatch.setenv("REPRO_SCHED", "cal")
+    assert CalendarQueue()._forced == "cal"
+    monkeypatch.setenv("REPRO_SCHED", "bogus")
+    with pytest.raises(ValueError):
+        CalendarQueue()

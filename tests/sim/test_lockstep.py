@@ -1,0 +1,152 @@
+"""Lockstep equivalence of the kernel's four dispatch loops.
+
+``Environment.run`` has three compiled-in variants (the inlined fast
+loop, the profiled loop, the journaled loop) plus the cold ``step()``
+path.  All four must execute the *same events in the same order* on the
+same workload — the fast paths are allowed to change how fast the
+simulator runs, never what it computes.  The journal's per-event records
+give an exact event-stream fingerprint; a workload-level trace covers
+the plain loop (which cannot journal).
+"""
+
+from repro.obs import Journal
+from repro.sim import (
+    AllOf,
+    Environment,
+    Interrupt,
+    Resource,
+    install_kernel_profiler,
+)
+
+
+def build_workload(env: Environment, trace: list):
+    """A deterministic mix of every hot event pattern: timeouts (incl.
+    zero-delay), event signalling (the now lane), priority interrupts,
+    resource handoffs, schedule_at, AllOf joins and spawn churn."""
+    res = Resource(env, capacity=2)
+    gate = env.event()
+
+    def ticker(name, delay, n):
+        for i in range(n):
+            yield env.timeout(delay)
+            trace.append((env.now, name, i))
+
+    def zero_delay(name, n):
+        for i in range(n):
+            yield env.timeout(0)
+            trace.append((env.now, name, i))
+
+    def signaller():
+        yield env.timeout(0.5)
+        gate.succeed("open")
+        trace.append((env.now, "signalled", 0))
+
+    def waiter(name):
+        v = yield gate
+        trace.append((env.now, name, v))
+        with res.request() as req:
+            yield req
+            yield env.timeout(0.25)
+        trace.append((env.now, name, "released"))
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            trace.append((env.now, "interrupted", exc.cause))
+
+    def interrupter(victim):
+        yield env.timeout(1.5)
+        victim.interrupt("wake")
+
+    def spawner(n):
+        children = [env.process(ticker(f"child{i}", 0.1 + i * 0.01, 3))
+                    for i in range(n)]
+        yield AllOf(env, children)
+        trace.append((env.now, "joined", n))
+
+    def scheduled():
+        ev = env.event()
+        env.schedule_at(ev, 2.0)
+        yield ev
+        trace.append((env.now, "at", None))
+
+    for i in range(4):
+        env.process(ticker(f"t{i}", 0.3 + i * 1e-3, 8))
+    env.process(zero_delay("z", 5))
+    env.process(signaller())
+    for i in range(3):
+        env.process(waiter(f"w{i}"))
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.process(spawner(4))
+    env.process(scheduled())
+
+
+def _journal_events(journal):
+    return [rec for rec in journal.records if rec[0] == "event"]
+
+
+def _run_plain():
+    env, trace = Environment(), []
+    build_workload(env, trace)
+    env.run()
+    return env, trace, None
+
+
+def _run_profiled():
+    env, trace = Environment(), []
+    build_workload(env, trace)
+    jr = Journal(period=0.5).install(env)
+    install_kernel_profiler(env)
+    env.run()
+    return env, trace, jr
+
+
+def _run_journaled():
+    env, trace = Environment(), []
+    build_workload(env, trace)
+    jr = Journal(period=0.5).install(env)
+    env.run()
+    return env, trace, jr
+
+
+def _run_stepped():
+    env, trace = Environment(), []
+    build_workload(env, trace)
+    jr = Journal(period=0.5).install(env)
+    while len(env._queue):
+        env.step()
+    return env, trace, jr
+
+
+def test_all_four_loops_execute_identical_event_sequences():
+    runs = {name: fn() for name, fn in [
+        ("plain", _run_plain), ("profiled", _run_profiled),
+        ("journaled", _run_journaled), ("stepped", _run_stepped)]}
+
+    ref_env, ref_trace, _ = runs["plain"]
+    for name, (env, trace, _jr) in runs.items():
+        assert trace == ref_trace, f"{name} diverged from the plain loop"
+        assert env.now == ref_env.now, name
+        assert env.events_scheduled == ref_env.events_scheduled, name
+
+    # Event-by-event: the three journal-capable loops must produce the
+    # exact same (idx, t, proc, class) stream.
+    ref_events = _journal_events(runs["journaled"][2])
+    assert ref_events, "journal recorded no events"
+    for name in ("profiled", "stepped"):
+        assert _journal_events(runs[name][2]) == ref_events, name
+
+
+def test_lockstep_holds_under_forced_calendar_mode(monkeypatch):
+    ref = _run_journaled()
+    monkeypatch.setenv("REPRO_SCHED", "cal")
+    forced = {name: fn() for name, fn in [
+        ("journaled", _run_journaled), ("profiled", _run_profiled),
+        ("stepped", _run_stepped), ("plain", _run_plain)]}
+    for name, (env, trace, jr) in forced.items():
+        assert trace == ref[1], f"forced-cal {name} diverged"
+        assert env.now == ref[0].now
+        if jr is not None:
+            assert _journal_events(jr) == _journal_events(ref[2]), name
