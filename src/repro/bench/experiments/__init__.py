@@ -9,6 +9,7 @@ are thin wrappers over these.
 
 from . import (
     exp_cluster_scaling,
+    exp_failover,
     exp_fig02_slowdown_timeseries,
     exp_fig03_slowdown_cost,
     exp_fig04_pcie_timeseries,
@@ -24,6 +25,7 @@ from . import (
 
 ALL = {
     "cluster": exp_cluster_scaling,
+    "failover": exp_failover,
     "fig02": exp_fig02_slowdown_timeseries,
     "fig03": exp_fig03_slowdown_cost,
     "fig04": exp_fig04_pcie_timeseries,

@@ -8,13 +8,27 @@ partial failure) is asked on.  See MODEL.md's "Cluster clock" note for
 the determinism contract.
 """
 
-from .chaos import ShardScopedPlan, arm_shard
+from .chaos import ShardScopedPlan, arm_shard, chaos_seed
 from .cluster import (
     ClusterCpuView,
     ClusterDb,
     ClusterFabric,
     ClusterShard,
     shard_process_name,
+)
+from .replica import (
+    INDEX_SHIP,
+    REPLAY,
+    BackupReplica,
+    ReplicaGroup,
+    ReplicationConfig,
+)
+from .reshard import Migration, RebalanceConfig
+from .scenario import (
+    FailoverReport,
+    build_replicated_cluster,
+    failover_sweep,
+    run_failover_scenario,
 )
 from .population import (
     KEY_SKEWS,
@@ -49,4 +63,16 @@ __all__ = [
     "KEY_SKEWS",
     "ShardScopedPlan",
     "arm_shard",
+    "chaos_seed",
+    "ReplicationConfig",
+    "ReplicaGroup",
+    "BackupReplica",
+    "REPLAY",
+    "INDEX_SHIP",
+    "Migration",
+    "RebalanceConfig",
+    "build_replicated_cluster",
+    "run_failover_scenario",
+    "failover_sweep",
+    "FailoverReport",
 ]

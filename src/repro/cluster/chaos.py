@@ -15,23 +15,52 @@ Scoping is by the *active process* at the moment the site is hit; hits
 from other shards do not advance the inner plan's occurrence-dependent
 state (the wrapper keeps its own per-shard occurrence count), so
 ``NthOccurrencePlan(3)`` scoped to shard 2 means "the 3rd time *shard 2*
-reaches this site".
+reaches this site".  An optional ``op`` narrows the scope further, to
+one kind of shard work (``op="wl"`` matches ``shard2.wl*`` but not
+``shard2.put_batch`` — or the shard's replication daemons, which is what
+keeps a primary-kill fault from also crashing the replica group's link).
+
+Cluster chaos seeding matches the single-node fault harness:
+:func:`chaos_seed` resolves ``REPRO_FAULT_SEED`` from the environment
+first, so any cluster chaos run is pin-able without code changes.
 """
 
 from __future__ import annotations
 
+import os
+
 from ..faults.plan import FaultPlan
+from ..faults.registry import DEFAULT_SEED
 from ..sim import Environment
 
-__all__ = ["ShardScopedPlan", "arm_shard"]
+__all__ = ["ShardScopedPlan", "arm_shard", "chaos_seed"]
+
+
+def chaos_seed(default: int = None) -> int:
+    """The seed cluster chaos scenarios run under.
+
+    Resolution order mirrors the single-node harness: an explicit
+    ``REPRO_FAULT_SEED`` (any int literal Python accepts, e.g. ``0x2A``)
+    wins, then the caller's ``default``, then the registry's
+    ``DEFAULT_SEED`` — so exported reproduction recipes pin cluster runs
+    exactly like single-node ones.
+    """
+    raw = os.environ.get("REPRO_FAULT_SEED")
+    if raw:
+        try:
+            return int(raw, 0)
+        except ValueError:
+            pass
+    return DEFAULT_SEED if default is None else default
 
 
 class ShardScopedPlan(FaultPlan):
     """Delegate to ``inner`` only for hits attributable to shard ``sid``."""
 
-    def __init__(self, env: Environment, sid: int, inner: FaultPlan):
+    def __init__(self, env: Environment, sid: int, inner: FaultPlan,
+                 op: str = ""):
         self.env = env
-        self.prefix = f"shard{sid}."
+        self.prefix = f"shard{sid}.{op}"
         self.inner = inner
         self.scoped_occurrences = 0
         self.foreign_hits = 0
@@ -54,12 +83,13 @@ class ShardScopedPlan(FaultPlan):
 
 
 def arm_shard(registry, env: Environment, sid: int, site: str,
-              plan: FaultPlan, action, **kw):
-    """Arm ``site`` so ``plan``/``action`` apply only to shard ``sid``.
+              plan: FaultPlan, action, op: str = "", **kw):
+    """Arm ``site`` so ``plan``/``action`` apply only to shard ``sid``
+    (optionally only its ``op``-named processes).
 
     Returns the :class:`ShardScopedPlan` wrapper (its ``foreign_hits``
     counter is the cheap way to assert the blast radius stayed put).
     """
-    scoped = ShardScopedPlan(env, sid, plan)
+    scoped = ShardScopedPlan(env, sid, plan, op=op)
     registry.arm(site, scoped, action, **kw)
     return scoped

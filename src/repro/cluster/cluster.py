@@ -23,6 +23,16 @@ Determinism contract (MODEL.md "Cluster clock"):
 Shard-scoped processes are named ``shard<N>.<op>`` — the hook
 :class:`~repro.cluster.chaos.ShardScopedPlan` uses to aim fault
 injection at exactly one shard of the fleet.
+
+Fault tolerance (ISSUE 10) is strictly opt-in: pass a
+:class:`~repro.cluster.replica.ReplicationConfig` plus per-shard backup
+stacks and every slot becomes a :class:`~repro.cluster.replica.ReplicaGroup`
+with deterministic failover; call :meth:`ClusterDb.rebalance` and the
+router is atomically repointed while a migration driver moves the
+affected keys.  Without either, every data-plane call takes the original
+code path unchanged — the replication/resharding guard is one pure-Python
+truth test, so unreplicated trajectories stay bit-identical to the
+pre-replica tree (the gating contract the golden tests pin).
 """
 
 from __future__ import annotations
@@ -31,10 +41,13 @@ import heapq
 from typing import Generator, Optional
 
 from ..core import KvaccelDb
+from ..faults.registry import fault_point, touch
 from ..metrics import LatencyHistogram
-from ..resil import DEGRADED, HEALTHY
+from ..resil import DEGRADED, HEALTHY, FailoverInProgress, RetryExecutor
 from ..sim import Environment
-from .router import Router
+from .replica import ACTIVE, BackupReplica, ReplicaGroup, ReplicationConfig
+from .reshard import Migration, RebalanceConfig
+from .router import HashRouter, Router
 
 __all__ = ["ClusterDb", "ClusterShard", "ClusterFabric", "ClusterCpuView",
            "shard_process_name"]
@@ -277,9 +290,17 @@ class ClusterDb:
     """The sharded serving layer: one facade over N KVACCEL shards."""
 
     def __init__(self, env: Environment, shards: list, router: Router,
-                 name: str = "cluster"):
+                 name: str = "cluster",
+                 replication: Optional[ReplicationConfig] = None,
+                 backups: Optional[list] = None):
         """``shards`` is ``[(KvaccelDb, ssd, cpu), ...]`` in shard-id
-        order; ``router.shards`` must match its length."""
+        order; ``router.shards`` must match its length.
+
+        ``replication`` + ``backups`` turn every slot into a replica
+        group: ``backups[sid]`` is that shard's standby stack list,
+        ``[(KvaccelDb, ssd, cpu), ...]`` — same shape as a shard entry,
+        ``replication.backups`` entries each.
+        """
         if not shards:
             raise ValueError("a cluster needs at least one shard")
         if router.shards != len(shards):
@@ -293,26 +314,164 @@ class ClusterDb:
         self._single = self.shards[0] if len(self.shards) == 1 else None
         self.stats = _ClusterStats(self)
         self.write_controller = _ClusterWriteController(self)
+        # Replica groups (empty dict = replication off; the data-plane
+        # guard tests exactly this).
+        self.groups: dict[int, ReplicaGroup] = {}
+        self._retry: Optional[RetryExecutor] = None
+        if replication is not None:
+            if backups is None or len(backups) != len(self.shards):
+                raise ValueError(
+                    "replication needs one backup-stack list per shard")
+            for sh, stack_list in zip(self.shards, backups):
+                if len(stack_list) != replication.backups:
+                    raise ValueError(
+                        f"shard {sh.sid}: expected {replication.backups} "
+                        f"backup stacks, got {len(stack_list)}")
+                reps = [BackupReplica(db, ssd, cpu)
+                        for db, ssd, cpu in stack_list]
+                self.groups[sh.sid] = ReplicaGroup(
+                    env, sh, reps, replication,
+                    rebind=self._rebind_shard_stats)
+            self._retry = RetryExecutor(env, replication.retry,
+                                        name=f"{name}.failover")
+        # Live resharding state.
+        self._migration: Optional[Migration] = None
+        self.rebalances = 0
+        self._moved_total = 0
+        self._reshard_tel = False
+        self.health = None
         self._register_telemetry()
+
+    @property
+    def _plain(self) -> bool:
+        """True on the original, unreplicated, non-migrating fast path."""
+        return not self.groups and self._migration is None
 
     # -- data plane ---------------------------------------------------------
     def put(self, key: bytes, value) -> Generator:
-        sh = self.shards[self.router.route(key)]
-        sh.write_ops += 1
-        self._tel_add(sh, "write_ops", 1)
-        yield from sh.db.put(key, value)
+        if self._plain:
+            sh = self.shards[self.router.route(key)]
+            sh.write_ops += 1
+            self._tel_add(sh, "write_ops", 1)
+            yield from sh.db.put(key, value)
+            return
+        yield from self._write_one(key, value)
 
     def delete(self, key: bytes) -> Generator:
-        sh = self.shards[self.router.route(key)]
-        sh.write_ops += 1
-        self._tel_add(sh, "write_ops", 1)
-        yield from sh.db.delete(key)
+        if self._plain:
+            sh = self.shards[self.router.route(key)]
+            sh.write_ops += 1
+            self._tel_add(sh, "write_ops", 1)
+            yield from sh.db.delete(key)
+            return
+        yield from self._write_one(key, None)
 
     def get(self, key: bytes) -> Generator:
-        sh = self.shards[self.router.route(key)]
+        if self._plain:
+            sh = self.shards[self.router.route(key)]
+            sh.read_ops += 1
+            self._tel_add(sh, "read_ops", 1)
+            value = yield from sh.db.get(key)
+            return value
+        value = yield from self._read_one(key)
+        return value
+
+    # -- replicated / migrating data plane ----------------------------------
+    def _shard_write(self, sid: int, items) -> Generator:
+        """Apply ``[(key, value|None), ...]`` to shard ``sid`` as
+        individual ops, through the failover admission gate; ack to the
+        replica group only once every item has been applied."""
+        grp = self.groups.get(sid)
+
+        def attempt() -> Generator:
+            if grp is not None and not grp.accepting():
+                raise FailoverInProgress(sid, grp.epoch)
+            sh = self.shards[sid]          # re-read: promotion swaps .db
+            for k, v in items:
+                if v is None:
+                    yield from sh.db.delete(k)
+                else:
+                    yield from sh.db.put(k, v)
+            if grp is not None:
+                grp.on_ack(items)
+
+        if self._retry is not None:
+            yield from self._retry.call(attempt, site=f"cluster.shard{sid}")
+        else:
+            yield from attempt()
+
+    def _batch_write(self, sid: int, sub: list) -> Generator:
+        """Group-commit ``sub`` on shard ``sid`` (the replicated analogue
+        of the fast path's ``sh.db.put_batch``)."""
+        grp = self.groups.get(sid)
+
+        def attempt() -> Generator:
+            if grp is not None and not grp.accepting():
+                raise FailoverInProgress(sid, grp.epoch)
+            yield from self.shards[sid].db.put_batch(sub)
+            if grp is not None:
+                grp.on_ack(sub)
+
+        if self._retry is not None:
+            yield from self._retry.call(attempt, site=f"cluster.shard{sid}")
+        else:
+            yield from attempt()
+
+    def _shard_read(self, sid: int, key: bytes) -> Generator:
+        grp = self.groups.get(sid)
+
+        def attempt() -> Generator:
+            if grp is not None and not grp.accepting():
+                raise FailoverInProgress(sid, grp.epoch)
+            value = yield from self.shards[sid].db.get(key)
+            return value
+
+        if self._retry is not None:
+            value = yield from self._retry.call(
+                attempt, site=f"cluster.shard{sid}")
+        else:
+            value = yield from attempt()
+        return value
+
+    def _await_installs(self, keys) -> Generator:
+        """Block while any of ``keys`` sits behind the migration's
+        per-key install barrier (see :mod:`repro.cluster.reshard`)."""
+        mig = self._migration
+        if mig is None:
+            return
+        for k in list(keys):
+            while (self._migration is mig and not mig.done
+                   and k in mig.installing):
+                yield self.env.timeout(5e-4)
+
+    def _write_one(self, key: bytes, value) -> Generator:
+        mig = self._migration
+        if mig is not None:
+            mig.note_write(key, value)
+            yield from self._await_installs((key,))
+        sid = self.router.route(key)
+        sh = self.shards[sid]
+        sh.write_ops += 1
+        self._tel_add(sh, "write_ops", 1)
+        yield from self._shard_write(sid, ((key, value),))
+
+    def _read_one(self, key: bytes) -> Generator:
+        sid = self.router.route(key)
+        sh = self.shards[sid]
         sh.read_ops += 1
         self._tel_add(sh, "read_ops", 1)
-        value = yield from sh.db.get(key)
+        value = yield from self._shard_read(sid, key)
+        mig = self._migration
+        if value is None and mig is not None and mig.forward_read(key):
+            # Dual-read: the copy may not have landed on the new owner
+            # yet — fall back to the pre-rebalance owner.
+            touch(self.env, "reshard.forward.read")
+            old_sid = mig.old_router.route(key)
+            if old_sid != sid:
+                osh = self.shards[old_sid]
+                osh.read_ops += 1
+                self._tel_add(osh, "read_ops", 1)
+                value = yield from self._shard_read(old_sid, key)
         return value
 
     def put_batch(self, pairs: list) -> Generator:
@@ -325,33 +484,69 @@ class ClusterDb:
         concurrently in simulated time and the facade returns when the
         slowest shard acks (the cluster-level group-commit latency).
         """
+        if self._plain:
+            single = self._single
+            if single is not None:
+                single.write_ops += len(pairs)
+                self._tel_add(single, "write_ops", len(pairs))
+                yield from single.db.put_batch(pairs)
+                return
+            parts = self.router.split_batch(pairs)
+            if len(parts) == 1:
+                # One owning shard: still isolate the work in a shard-named
+                # process so fault scoping and interleaving match the general
+                # fan-out path.
+                sid, sub = parts[0]
+                sh = self.shards[sid]
+                sh.write_ops += len(sub)
+                self._tel_add(sh, "write_ops", len(sub))
+                gen = sh.db.put_batch(sub)
+                if self.env.lineage is not None:
+                    gen = self._shard_op(sid, gen, "put_batch", len(sub))
+                yield self.env.process(
+                    gen, name=shard_process_name(sid, "put_batch"))
+                return
+            procs = []
+            for sid, sub in parts:           # ascending sid: spec order
+                sh = self.shards[sid]
+                sh.write_ops += len(sub)
+                self._tel_add(sh, "write_ops", len(sub))
+                gen = sh.db.put_batch(sub)
+                if self.env.lineage is not None:
+                    gen = self._shard_op(sid, gen, "put_batch", len(sub))
+                procs.append(self.env.process(
+                    gen, name=shard_process_name(sid, "put_batch")))
+            yield self.env.all_of(procs)
+            return
+        mig = self._migration
+        if mig is not None:
+            for k, v in pairs:
+                mig.note_write(k, v)
+            yield from self._await_installs(k for k, _ in pairs)
         single = self._single
         if single is not None:
             single.write_ops += len(pairs)
             self._tel_add(single, "write_ops", len(pairs))
-            yield from single.db.put_batch(pairs)
+            yield from self._batch_write(0, pairs)
             return
         parts = self.router.split_batch(pairs)
         if len(parts) == 1:
-            # One owning shard: still isolate the work in a shard-named
-            # process so fault scoping and interleaving match the general
-            # fan-out path.
             sid, sub = parts[0]
             sh = self.shards[sid]
             sh.write_ops += len(sub)
             self._tel_add(sh, "write_ops", len(sub))
-            gen = sh.db.put_batch(sub)
+            gen = self._batch_write(sid, sub)
             if self.env.lineage is not None:
                 gen = self._shard_op(sid, gen, "put_batch", len(sub))
             yield self.env.process(gen,
                                    name=shard_process_name(sid, "put_batch"))
             return
         procs = []
-        for sid, sub in parts:           # ascending sid: spec order
+        for sid, sub in parts:               # ascending sid: spec order
             sh = self.shards[sid]
             sh.write_ops += len(sub)
             self._tel_add(sh, "write_ops", len(sub))
-            gen = sh.db.put_batch(sub)
+            gen = self._batch_write(sid, sub)
             if self.env.lineage is not None:
                 gen = self._shard_op(sid, gen, "put_batch", len(sub))
             procs.append(self.env.process(
@@ -384,6 +579,52 @@ class ClusterDb:
         (ascending sid) and the merge is by key — each key lives on
         exactly one shard, so the merged stream has no duplicates.
         """
+        if self._plain:
+            single = self._single
+            if single is not None:
+                single.read_ops += 1
+                self._tel_add(single, "read_ops", 1)
+                out = yield from single.db.scan(start_key, count)
+                return out
+            start = int.from_bytes(start_key, "big")
+            targets = []
+            for sh in self.shards:
+                ranges = getattr(self.router, "ranges", None)
+                if ranges is not None:
+                    lo, hi = self.router.ranges()[sh.sid]
+                    last = sh.sid == len(self.shards) - 1
+                    if not last and hi <= start:
+                        continue        # entirely below the scan start
+                targets.append(sh)
+            lineage_on = self.env.lineage is not None
+            procs = [self.env.process(
+                (self._shard_op(sh.sid, sh.db.scan(start_key, count),
+                                "scan", count or 0)
+                 if lineage_on else sh.db.scan(start_key, count)),
+                name=shard_process_name(sh.sid, "scan"))
+                     for sh in targets]
+            for sh in targets:
+                sh.read_ops += 1
+                self._tel_add(sh, "read_ops", 1)
+            results = yield self.env.all_of(procs)
+            rows = heapq.merge(*(results[p] for p in procs))
+            return list(rows)[:count] if count is not None else list(rows)
+        if self._retry is not None:
+            out = yield from self._retry.call(
+                lambda: self._scan_once(start_key, count),
+                site="cluster.scan")
+        else:
+            out = yield from self._scan_once(start_key, count)
+        return out
+
+    def _scan_once(self, start_key: bytes, count: int) -> Generator:
+        """One scan attempt on the replicated/migrating path: admission-
+        gated on every targeted replica group, and — during a migration —
+        merged with an ownership-preferring dedupe (a moved key may
+        transiently exist on both its old and new shard)."""
+        for sid, grp in self.groups.items():
+            if not grp.accepting():
+                raise FailoverInProgress(sid, grp.epoch)
         single = self._single
         if single is not None:
             single.read_ops += 1
@@ -398,7 +639,7 @@ class ClusterDb:
                 lo, hi = self.router.ranges()[sh.sid]
                 last = sh.sid == len(self.shards) - 1
                 if not last and hi <= start:
-                    continue        # entirely below the scan start
+                    continue
             targets.append(sh)
         lineage_on = self.env.lineage is not None
         procs = [self.env.process(
@@ -411,11 +652,133 @@ class ClusterDb:
             sh.read_ops += 1
             self._tel_add(sh, "read_ops", 1)
         results = yield self.env.all_of(procs)
-        rows = heapq.merge(*(results[p] for p in procs))
-        return list(rows)[:count] if count is not None else list(rows)
+        mig = self._migration
+        if mig is None:
+            rows = heapq.merge(*(results[p] for p in procs))
+            return list(rows)[:count] if count is not None else list(rows)
+        best: dict = {}
+        for sh, p in zip(targets, procs):
+            for k, v in results[p]:
+                owner = self.router.route(k)
+                if k in mig.fresh and sh.sid != owner:
+                    continue        # stale pre-rebalance copy of a fresh key
+                if k not in best or sh.sid == owner:
+                    best[k] = v
+        rows = sorted(best.items())
+        return rows[:count] if count is not None else rows
+
+    # -- live resharding ------------------------------------------------------
+    def rebalance(self, seed: Optional[int] = None,
+                  router: Optional[Router] = None,
+                  config: Optional[RebalanceConfig] = None):
+        """Atomically repoint the cluster at a new placement and migrate
+        the moved keys shard-to-shard in the background.
+
+        With no arguments this is a hash-router seed bump (old seed + 1).
+        Writes route by the new placement from this call on; reads
+        dual-read (new owner, then old owner on a miss) until the
+        returned migration process finishes.
+        """
+        if self._migration is not None:
+            raise RuntimeError("a rebalance is already in progress")
+        if router is None:
+            if not isinstance(self.router, HashRouter):
+                raise ValueError(
+                    "seed-bump rebalance needs a HashRouter; pass an "
+                    "explicit router= for other policies")
+            if seed is None:
+                seed = self.router.seed + 1
+            router = HashRouter(self.router.shards, seed=seed)
+        if router.shards != len(self.shards):
+            raise ValueError("rebalance cannot change the shard count")
+        self._ensure_reshard_telemetry()
+        mig = Migration(self.env, self.router, router, config)
+        self._migration = mig
+        self.router = router            # the atomic write cut-over
+        self.rebalances += 1
+        touch(self.env, "reshard.start")
+        return self.env.process(self._migrate(mig), name="cluster.reshard")
+
+    def _migrate(self, mig: Migration) -> Generator:
+        """Walk every shard, copy the keys whose owner changed to their
+        new shard, and tombstone the old copies.  Copies go through the
+        same admission-gated write path as clients (so they survive a
+        concurrent failover and replicate to backups); keys freshly
+        written after the cut-over are never overwritten — if a fresh
+        write races a copy batch, the fresh value is re-applied after."""
+        cfg = mig.config
+        try:
+            for src in self.shards:
+                start = b"\x00"
+                while True:
+                    rows = yield from src.db.scan(start, cfg.scan_chunk)
+                    if not rows:
+                        break
+                    mig.scanned_keys += len(rows)
+                    moved = [(k, v) for k, v in rows
+                             if self.router.route(k) != src.sid]
+                    for i in range(0, len(moved), cfg.batch):
+                        batch = moved[i:i + cfg.batch]
+                        yield from fault_point(self.env,
+                                               "reshard.migrate.batch")
+                        # Group + raise the install barrier in one
+                        # synchronous block: a client write can only
+                        # interleave at a yield, so every key here is
+                        # either fresh already (skipped) or barred from
+                        # client writes until its copy lands.
+                        copies: dict[int, list] = {}
+                        for k, v in batch:
+                            if k not in mig.fresh:
+                                copies.setdefault(
+                                    self.router.route(k), []).append((k, v))
+                                mig.installing.add(k)
+                        try:
+                            for dst in sorted(copies):
+                                yield from self._shard_write(
+                                    dst, copies[dst])
+                        finally:
+                            for subs in copies.values():
+                                for k, _v in subs:
+                                    mig.installing.discard(k)
+                        yield from self._shard_write(
+                            src.sid, [(k, None) for k, _ in batch])
+                        mig.moved_keys += len(batch)
+                    if len(rows) < cfg.scan_chunk:
+                        break
+                    start = rows[-1][0] + b"\x00"
+        finally:
+            mig.done = True
+            mig.finished_at = self.env.now
+            self._moved_total += mig.moved_keys
+            self._migration = None
+            touch(self.env, "reshard.complete")
+
+    # -- replication hooks ----------------------------------------------------
+    def _rebind_shard_stats(self, sh: ClusterShard) -> None:
+        """Post-promotion: point the slot's latency views (and any
+        collector histogram teed on top) at the promoted stack."""
+        wl = self.stats._write_latencies
+        rl = self.stats._read_latencies
+        sh.db.stats.write_latencies = (
+            _TeeHistogram(sh.write_hist, wl) if wl is not None
+            else sh.write_hist)
+        sh.db.stats.read_latencies = (
+            _TeeHistogram(sh.read_hist, rl) if rl is not None
+            else sh.read_hist)
+
+    def drain_replication(self) -> Generator:
+        """Apply every acked record to every backup now (test/verify
+        hook; ascending shard id for determinism)."""
+        for sid in sorted(self.groups):
+            yield from self.groups[sid].drain()
 
     # -- lifecycle -----------------------------------------------------------
     def wait_for_quiesce(self, poll: float = 0.01) -> Generator:
+        while self._migration is not None:
+            yield self.env.timeout(poll)
+        for sid in sorted(self.groups):
+            while self.groups[sid].state != ACTIVE:
+                yield self.env.timeout(poll)
         for sh in self.shards:
             yield from sh.db.wait_for_quiesce(poll)
 
@@ -424,8 +787,15 @@ class ClusterDb:
             yield from sh.db.final_rollback()
 
     def close(self) -> None:
+        for grp in self.groups.values():
+            grp.stop()
         for sh in self.shards:
             sh.db.close()
+        for grp in self.groups.values():
+            for b in grp.backups:
+                b.db.close()
+            for db, _ssd, _cpu in grp.retired:
+                db.close()
 
     # -- introspection --------------------------------------------------------
     @property
@@ -466,7 +836,7 @@ class ClusterDb:
         """The scaling-report payload: per-shard rows + fleet aggregates."""
         per_shard = [sh.report() for sh in self.shards]
         was = [row["write_amplification"] for row in per_shard]
-        return {
+        doc = {
             "shards": self.shard_count,
             "router": type(self.router).__name__,
             "per_shard": per_shard,
@@ -480,6 +850,15 @@ class ClusterDb:
                 "mean": sum(was) / len(was) if was else 0.0,
             },
         }
+        # Replication / resharding rows only when the features are in
+        # play, so unreplicated report payloads stay byte-stable.
+        if self.groups:
+            doc["replication"] = [self.groups[sid].report()
+                                  for sid in sorted(self.groups)]
+        if self.rebalances:
+            doc["rebalances"] = self.rebalances
+            doc["moved_keys"] = self._moved_total
+        return doc
 
     # -- telemetry -------------------------------------------------------------
     def _tel_add(self, shard: ClusterShard, which: str, n: int) -> None:
@@ -504,9 +883,10 @@ class ClusterDb:
         for sh in self.shards:
             tel.rate(f"cluster.{sh.name}.write_ops")
             tel.rate(f"cluster.{sh.name}.read_ops")
-            wc = sh.db.write_controller
+            # All gauges/derivs read through ``sh`` so they follow the
+            # slot across a failover promotion (the slot's .db/.ssd swap).
             tel.deriv(f"cluster.{sh.name}.stall_time",
-                      lambda wc=wc: wc.total_stall_time)
+                      lambda sh=sh: sh.db.write_controller.total_stall_time)
             tel.gauge(f"cluster.{sh.name}.devlsm_bytes",
                       lambda sh=sh: sh.ssd.devlsm.total_bytes)
             tel.gauge(f"cluster.{sh.name}.resil_state",
@@ -521,3 +901,38 @@ class ClusterDb:
         tel.gauge("cluster.degraded_shards",
                   lambda: float(self.degraded_shards()))
         tel.gauge("cluster.hot_shard", lambda: float(self.hot_shard()))
+        for sid in sorted(self.groups):
+            grp = self.groups[sid]
+            tel.rate(f"cluster.shard{sid}.failovers")
+            tel.gauge(f"cluster.shard{sid}.repl_lag",
+                      lambda g=grp: float(g.replication_lag()))
+            tel.gauge(f"cluster.shard{sid}.hb_misses",
+                      lambda g=grp: float(g.misses))
+            tel.gauge(f"cluster.shard{sid}.failover_duration",
+                      lambda g=grp: g.last_failover_duration)
+        # Per-shard health/SLO rules auto-instantiate with the cluster
+        # (ROADMAP follow-up) — tests and the bench runner no longer wire
+        # them by hand.  Rule evaluation is a pure-Python sample callback,
+        # so this never perturbs a trajectory.
+        if len(self.shards) > 1 or self.groups:
+            from ..obs.rules import HealthMonitor, cluster_shard_rules
+            self.health = HealthMonitor(
+                tel, cluster_shard_rules(len(self.shards),
+                                         period=tel.period))
+
+    def _ensure_reshard_telemetry(self) -> None:
+        """Register the rebalance channels on first use — a run that
+        never reshards keeps its telemetry channel set (and anything
+        pinned on it) unchanged."""
+        if self._reshard_tel:
+            return
+        self._reshard_tel = True
+        tel = self.env.telemetry
+        if tel is None:
+            return
+        tel.gauge("cluster.reshard.active",
+                  lambda: 0.0 if self._migration is None else 1.0)
+        tel.gauge("cluster.reshard.moved",
+                  lambda: float(self._moved_total
+                                + (self._migration.moved_keys
+                                   if self._migration is not None else 0)))

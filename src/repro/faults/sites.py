@@ -57,6 +57,17 @@ KNOWN_SITES = frozenset({
     # resil/degrade.py + core/controller.py fallback path
     "resil.healthy.enter", "resil.recovering.enter", "resil.degraded.enter",
     "resil.fallback",
+    # cluster/replica.py — replication link, apply paths, failure detector
+    # and the promotion protocol (the replication pipe itself is a PcieLink
+    # named "shard<N>.repl", so it also probes the dynamic
+    # "shard<N>.repl.transfer" site per frame).
+    "repl.link.send", "repl.apply", "repl.ship.install",
+    "repl.primary.kill", "repl.heartbeat.miss",
+    "repl.failover.start", "repl.catchup.start", "repl.catchup.batch",
+    "repl.promote", "repl.failover.complete",
+    # cluster/cluster.py — live resharding (router seed bump + migration)
+    "reshard.start", "reshard.migrate.batch", "reshard.forward.read",
+    "reshard.complete",
 })
 
 # Site-name families built at runtime: any name with one of these suffixes

@@ -244,6 +244,21 @@ def register_digest_sources(journal: Journal, db, ssd=None,
         for sh in db.shards:
             register_digest_sources(journal, sh.db, sh.ssd,
                                     scope=f"cluster.shard{sh.sid}.")
+        # Replica groups (replication-enabled clusters only — an empty
+        # ``groups`` adds no sources, keeping unreplicated digest streams
+        # byte-identical): the group's own protocol digest plus the full
+        # layer set of every backup stack.  Sources bind the stacks they
+        # see *now*; after a promotion the promoted stack keeps digesting
+        # under its backup scope and the group digest's ``epoch`` moves.
+        groups = getattr(db, "groups", None) or {}
+        for sid in sorted(groups):
+            grp = groups[sid]
+            journal.add_digest_source(f"cluster.shard{sid}.repl",
+                                      grp.state_digest)
+            for j, b in enumerate(grp.backups):
+                register_digest_sources(
+                    journal, b.db, b.ssd,
+                    scope=f"cluster.shard{sid}.backup{j}.")
         return
     if hasattr(db, "main") and hasattr(db, "controller"):    # KvaccelDb
         dev = ssd if ssd is not None else db.ssd

@@ -307,6 +307,16 @@ def cluster_shard_rules(shards: int, period: float = 1.0,
             return avg >= storm_retries, {"shard": _k,
                                           "retries_per_bucket": round(avg, 1)}
 
+        # Replica-group promotion: the cluster bumps the per-shard
+        # ``failovers`` rate channel exactly once per completed failover,
+        # so any positive bucket is a promotion edge.  The channel only
+        # exists on replicated clusters; elsewhere this reads 0 forever.
+        failover_ch = f"cluster.shard{k}.failovers"
+
+        def shard_failover(win, _ch=failover_ch, _k=k):
+            n = _get(win[-1], _ch)
+            return n > 0, {"shard": _k, "failovers": n}
+
         rules.append(HealthRule(
             f"stall_storm.shard{k}", "critical", 10, shard_stall_storm,
             f"write stalls dominate a 10-bucket window on shard {k}"))
@@ -317,4 +327,21 @@ def cluster_shard_rules(shards: int, period: float = 1.0,
         rules.append(HealthRule(
             f"retry_storm.shard{k}", "warning", 3, shard_retry_storm,
             f"sustained device-command retry pressure on shard {k}"))
+        rules.append(HealthRule(
+            f"shard_failover.shard{k}", "critical", 1, shard_failover,
+            f"shard {k} failed over to a promoted backup"))
+
+    # A rebalance that stops making progress: the migration is active for
+    # a whole window but the moved-keys gauge never advances (e.g. the
+    # driver is starved or wedged behind a dead shard).
+    def rebalance_stuck(win):
+        active = all(_get(s, "cluster.reshard.active") > 0 for s in win)
+        moved0 = _get(win[0], "cluster.reshard.moved")
+        moved1 = _get(win[-1], "cluster.reshard.moved")
+        return (active and moved1 <= moved0,
+                {"moved_keys": moved1})
+
+    rules.append(HealthRule(
+        "rebalance_stuck", "warning", 5, rebalance_stuck,
+        "live resharding active for a full window with no key movement"))
     return rules

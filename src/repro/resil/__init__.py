@@ -34,6 +34,7 @@ from .degrade import (
 from .errors import (
     DeviceError,
     ERROR_KINDS,
+    FailoverInProgress,
     MEDIA,
     PERSISTENT,
     TIMEOUT,
@@ -56,6 +57,7 @@ __all__ = [
     "TIMEOUT",
     "ERROR_KINDS",
     "DeviceError",
+    "FailoverInProgress",
     "classify_injected",
     "as_device_error",
     "RetryPolicy",

@@ -37,6 +37,7 @@ __all__ = [
     "TIMEOUT",
     "ERROR_KINDS",
     "DeviceError",
+    "FailoverInProgress",
     "classify_injected",
     "as_device_error",
 ]
@@ -73,6 +74,25 @@ class DeviceError(RuntimeError):
     @property
     def retryable(self) -> bool:
         return self.kind in _RETRYABLE
+
+
+class FailoverInProgress(DeviceError):
+    """A cluster shard slot is mid-failover and not accepting requests.
+
+    Classified ``transient`` so the retry stack reissues the request with
+    backoff until the promoted backup finishes catch-up and the router
+    repoints the slot — the caller observes elevated latency, never an
+    error, as long as promotion completes within the retry budget.
+    ``epoch`` is the replica group's promotion count when the request was
+    rejected; a successful retry necessarily lands on a later epoch.
+    """
+
+    def __init__(self, sid: int, epoch: int = 0, detail: str = ""):
+        super().__init__(
+            TRANSIENT, site=f"cluster.shard{sid}",
+            detail=detail or f"failover in progress (epoch {epoch})")
+        self.sid = sid
+        self.epoch = epoch
 
 
 def classify_injected(exc: BaseException, site: str = "") -> DeviceError:

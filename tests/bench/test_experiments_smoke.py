@@ -26,7 +26,8 @@ def tiny_profile():
 
 def test_registry_complete():
     assert set(ALL) == {"fig02", "fig03", "fig04", "fig05", "fig11", "fig12",
-                        "fig13", "fig14", "tab05", "tab06", "sec6d", "cluster"}
+                        "fig13", "fig14", "tab05", "tab06", "sec6d", "cluster",
+                        "failover"}
     for module in ALL.values():
         assert callable(module.run)
         assert module.__doc__

@@ -138,6 +138,31 @@ def make_cluster_system(env: Environment, shards: int = 2,
     return cluster, registry
 
 
+def make_replicated_cluster(env: Environment, shards: int = 2,
+                            backups: int = 1, mode: str = "replay",
+                            with_faults: bool = False, seed: int = 0,
+                            replication=None, **kw):
+    """A replicated cluster (primary + K backups per shard) on the small
+    scenario stacks, optionally with a seeded FaultRegistry.
+
+    Returns ``(cluster, registry)`` like :func:`make_cluster_system`;
+    ``replication`` overrides the whole :class:`ReplicationConfig` when
+    the test needs non-default lag/ship/heartbeat knobs.
+    """
+    from repro.cluster import ReplicationConfig, build_replicated_cluster
+
+    registry = None
+    if with_faults:
+        from repro.faults import FaultRegistry
+
+        registry = FaultRegistry(fault_seed(seed)).install(env)
+    if replication is None:
+        replication = ReplicationConfig(mode=mode, backups=backups)
+    cluster = build_replicated_cluster(env, shards=shards,
+                                       replication=replication, **kw)
+    return cluster, registry
+
+
 def fault_seed(default: int | None = None) -> int:
     """The pinned fault/workload seed for this test run.
 

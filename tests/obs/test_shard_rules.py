@@ -25,7 +25,9 @@ def test_rule_instances_per_shard():
         assert f"stall_storm.shard{k}" in names
         assert f"degraded_mode_entered.shard{k}" in names
         assert f"retry_storm.shard{k}" in names
-    assert len(rules) == 9
+        assert f"shard_failover.shard{k}" in names
+    assert "rebalance_stuck" in names
+    assert len(rules) == 13  # 4 per shard + one fleet-wide rule
     with pytest.raises(ValueError):
         cluster_shard_rules(0)
 
